@@ -1,0 +1,72 @@
+"""Ablation — fingerprinting-detector strictness (§5.1.3).
+
+The strict Englehardt-Narayanan criteria match nothing in this ecosystem
+(the paper's finding); this bench sweeps the measureText threshold of the
+paper's replacement rule and compares detections against the generator's
+ground truth of fingerprinting services.
+"""
+
+from repro.core.fingerprinting import analyze_fingerprinting
+from repro.js.api import API
+from repro.net.url import URLError, parse_url, registrable_domain
+
+THRESHOLDS = (10, 25, 50, 100, 200)
+
+
+def _rule_with_threshold(calls, threshold):
+    if not any(c.api == API.CONTEXT_SET_FONT for c in calls):
+        return False
+    per_text = {}
+    for call in calls:
+        if call.api == API.CONTEXT_MEASURE_TEXT:
+            text = call.arg("text", "")
+            per_text[text] = per_text.get(text, 0) + 1
+    return max(per_text.values(), default=0) >= threshold
+
+
+def test_ablation_canvas(benchmark, study, reporter):
+    from repro.js.api import calls_by_script
+
+    js_calls = study.porn_log().js_calls
+    universe = study.universe
+    truth = {d for d, s in universe.services.items() if s.fingerprints}
+
+    def sweep():
+        # Group per execution context: one script run per (URL, page).
+        grouped = {}
+        for call in js_calls:
+            grouped.setdefault((call.script_url, call.document_host),
+                               []).append(call)
+        rows = []
+        for threshold in THRESHOLDS:
+            detected_services = set()
+            scripts = set()
+            for (url, _page), calls in grouped.items():
+                if _rule_with_threshold(calls, threshold):
+                    scripts.add(url)
+                    try:
+                        detected_services.add(
+                            registrable_domain(parse_url(url).host)
+                        )
+                    except URLError:
+                        pass
+            tp_detected = detected_services & truth
+            rows.append((threshold, len(scripts), len(tp_detected)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report = analyze_fingerprinting(js_calls)
+    reporter.row("strict Englehardt-Narayanan detections", 0,
+                 len(report.englehardt_scripts))
+    reporter.text("measureText-threshold  scripts  true-FP-services")
+    for threshold, scripts, services in rows:
+        reporter.text(f"{threshold:>21}  {scripts:>7}  {services:>16}")
+
+    by_threshold = {row[0]: row for row in rows}
+    # Detections shrink monotonically with strictness.
+    counts = [by_threshold[t][1] for t in THRESHOLDS]
+    assert counts == sorted(counts, reverse=True)
+    # The paper's threshold (50) still catches the fingerprinting services;
+    # 200 loses them all (the scripts measure 50-150 times).
+    assert by_threshold[50][2] > 0
+    assert by_threshold[200][1] == 0

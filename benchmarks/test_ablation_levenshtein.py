@@ -1,0 +1,69 @@
+"""Ablation — the 0.7 Levenshtein threshold in first/third-party labeling.
+
+Sweeps the threshold and scores labeling against generator ground truth:
+a site-owned CDN counted as third party is a miss; a genuine third party
+absorbed into the first party is a false merge.
+"""
+
+from conftest import Reporter
+
+from repro.core.partylabel import label_parties
+from repro.net.url import registrable_domain
+
+THRESHOLDS = (0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def _score(universe, labels):
+    """(cdn recall, third-party precision) against ground truth."""
+    cdn_of_site = {site: cdn for cdn, site in universe.site_cdns.items()}
+    cdn_hits = cdn_total = 0
+    for page, fqdns in labels.first_party.items():
+        cdn = cdn_of_site.get(page)
+        if cdn is None:
+            continue
+        cdn_total += 1
+        if any(registrable_domain(f) == cdn for f in fqdns):
+            cdn_hits += 1
+    # Pages whose own CDN leaked into the third-party set = labeling misses.
+    misses = 0
+    for page, fqdns in labels.third_party_direct.items():
+        cdn = cdn_of_site.get(page)
+        if cdn and any(registrable_domain(f) == cdn for f in fqdns):
+            misses += 1
+    # Genuine services wrongly made first party.
+    false_merges = 0
+    for page, fqdns in labels.first_party.items():
+        for fqdn in fqdns:
+            if registrable_domain(fqdn) in universe.services:
+                false_merges += 1
+    return cdn_hits, misses, false_merges
+
+
+def test_ablation_levenshtein(benchmark, study, reporter):
+    log = study.porn_log()
+    universe = study.universe
+
+    def sweep():
+        rows = []
+        for threshold in THRESHOLDS:
+            labels = label_parties(log, cert_lookup=universe.certificate_for,
+                                   levenshtein_threshold=threshold)
+            rows.append((threshold, *_score(universe, labels)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    reporter.text("threshold  cdn-found  cdn-missed  false-merges")
+    for threshold, hits, misses, merges in rows:
+        reporter.text(f"{threshold:>9}  {hits:>9}  {misses:>10}  {merges:>12}")
+
+    by_threshold = {row[0]: row for row in rows}
+    # The paper's 0.7 finds the site CDNs without merging real services.
+    _, hits_07, misses_07, merges_07 = by_threshold[0.7]
+    assert hits_07 > 0
+    assert merges_07 == 0
+    # Over-strict thresholds start missing CDNs; over-loose ones merge
+    # genuinely unrelated services.
+    _, hits_09, misses_09, _ = by_threshold[0.9]
+    assert misses_09 >= misses_07
+    _, _, _, merges_05 = by_threshold[0.5]
+    assert merges_05 >= merges_07

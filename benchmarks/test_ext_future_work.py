@@ -1,0 +1,60 @@
+"""§10 extensions — ad-blocker effectiveness, subscription tracking, and
+cross-border identifier flows (the paper's future-work studies)."""
+
+from repro.core.business import MODEL_NONE, MODEL_PAID
+
+
+def test_ext_adblock_effectiveness(benchmark, study, reporter):
+    comparison = benchmark.pedantic(lambda: study.adblock_comparison(),
+                                    rounds=1, iterations=1)
+    reporter.row("requests cancelled by EasyList/EasyPrivacy", "-",
+                 comparison.requests_blocked)
+    reporter.row("third-party ID cookies: baseline -> protected", "-",
+                 f"{comparison.baseline_third_party_cookies} -> "
+                 f"{comparison.protected_third_party_cookies} "
+                 f"(-{comparison.cookie_reduction:.0%})")
+    reporter.row("canvas-FP sites: baseline -> protected",
+                 "most survive (91% of scripts unlisted)",
+                 f"{len(comparison.baseline_canvas_sites)} -> "
+                 f"{len(comparison.protected_canvas_sites)} "
+                 f"(-{comparison.canvas_reduction:.0%})")
+    reporter.row("tracker domains surviving the blocker", "-",
+                 f"{comparison.surviving_tracker_fraction:.0%}")
+
+    # The blocker helps with cookies but NOT with the unlisted
+    # fingerprinters — the paper's central anti-tracking warning.
+    assert comparison.cookie_reduction > 0.3
+    assert comparison.canvas_reduction < 0.4
+    assert comparison.surviving_tracker_fraction > 0.3
+
+
+def test_ext_subscription_tracking(benchmark, study, reporter):
+    report = benchmark(lambda: study.subscription_tracking())
+    for row in report.rows:
+        reporter.row(
+            f"{row.model}: sites / mean TPs / mean TP cookies",
+            "-",
+            f"{row.site_count} / {row.mean_third_parties:.1f} / "
+            f"{row.mean_third_party_id_cookies:.1f}",
+        )
+    ad_supported = report.row(MODEL_NONE)
+    paid = report.row(MODEL_PAID)
+    assert ad_supported.site_count > paid.site_count
+    assert ad_supported.mean_third_parties > 0
+
+
+def test_ext_cross_border(benchmark, study, reporter):
+    report = benchmark.pedantic(lambda: study.cross_border(), rounds=1,
+                                iterations=1)
+    reporter.row("third-party requests located", "-", report.requests_total)
+    reporter.row("terminating outside the EU", "-",
+                 f"{report.outside_eu_fraction:.0%}")
+    top = sorted(report.by_country.items(), key=lambda item: -item[1])[:5]
+    reporter.row("top destination countries", "-",
+                 ", ".join(f"{code}:{count}" for code, count in top))
+    reporter.row("ID-cookie holders hosted outside the EU", "-",
+                 f"{report.id_export_fraction:.0%} of "
+                 f"{len(report.id_cookie_domains)}")
+
+    assert report.outside_eu_fraction > 0.4
+    assert report.id_export_fraction > 0.3

@@ -1,0 +1,30 @@
+"""Figure 1 — best/median Alexa rank and top-1M presence per site."""
+
+from conftest import scaled
+
+from repro.core.popularity import analyze_popularity
+from repro.reporting.figures import figure1_ascii
+
+
+def test_fig1_popularity(benchmark, study, paper, reporter):
+    corpus = study.corpus_domains()
+    report = benchmark(lambda: analyze_popularity(study.universe, corpus))
+
+    reporter.row("sites always in top-1M", scaled(paper.always_top_1m),
+                 report.always_top_1m_count)
+    reporter.row("  as fraction of corpus", "16%",
+                 f"{report.always_top_1m_fraction:.0%}")
+    reporter.row("sites always in top-1K", paper.always_top_1k,
+                 report.always_top_1k_count)
+    reporter.text(figure1_ascii(report))
+
+    assert 0.10 <= report.always_top_1m_fraction <= 0.25
+    best, _, presence = report.figure1_series()
+    listed = [rank for rank in best if rank]
+    assert listed == sorted(listed)
+    # Presence decays toward the tail of the rank ordering (Fig. 1's shape).
+    n = len(presence)
+    if n >= 100:
+        head = sum(presence[: n // 5]) / (n // 5)
+        tail = sum(presence[-n // 5:]) / (n // 5)
+        assert head > tail

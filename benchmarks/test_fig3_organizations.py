@@ -1,0 +1,49 @@
+"""Figure 3 — most relevant third-party organizations, porn vs regular."""
+
+from repro.core.ecosystem import build_figure3
+from repro.reporting.figures import figure3_ascii, figure3_csv
+
+
+def test_fig3_organizations(benchmark, study, paper, reporter):
+    porn_labels = study.porn_labels()
+    regular_labels = study.regular_labels()
+    porn_attribution = study.porn_attribution()
+    regular_attribution = study.regular_attribution()
+    bars = benchmark(
+        lambda: build_figure3(
+            porn_labels=porn_labels,
+            regular_labels=regular_labels,
+            porn_attribution=porn_attribution,
+            regular_attribution=regular_attribution,
+            porn_visited=len(study.porn_log().successful_visits()),
+            regular_visited=len(study.regular_log().successful_visits()),
+            top_n=19,
+        )
+    )
+    by_org = {entry.organization: entry for entry in bars}
+
+    reporter.row("Alphabet porn prevalence", "74%",
+                 f"{by_org['Alphabet'].porn_fraction:.0%}"
+                 if "Alphabet" in by_org else "absent")
+    exoclick = next((e for e in bars if "ExoClick" in e.organization), None)
+    reporter.row("ExoClick porn prevalence", "40%",
+                 f"{exoclick.porn_fraction:.0%}" if exoclick else "absent")
+    cloudflare = by_org.get("Cloudflare")
+    reporter.row("Cloudflare porn prevalence", "35%",
+                 f"{cloudflare.porn_fraction:.0%}" if cloudflare else "absent")
+    oracle = by_org.get("Oracle")
+    reporter.row("Oracle porn prevalence (AddThis)", "~18%",
+                 f"{oracle.porn_fraction:.0%}" if oracle else "absent")
+    reporter.text(figure3_ascii(bars))
+    reporter.text(figure3_csv(bars))
+
+    # Shape: Alphabet leads both ecosystems; ExoClick is porn-exclusive;
+    # DoubleClick-style reach is much higher in the regular web.
+    assert bars[0].organization == "Alphabet"
+    assert bars[0].porn_fraction > 0.5
+    assert exoclick is not None
+    assert exoclick.porn_fraction > 0.15
+    assert exoclick.regular_fraction < 0.01
+    facebook = by_org.get("Facebook")
+    if facebook is not None:
+        assert facebook.porn_fraction < 0.05  # §4.2.3: Facebook is rare

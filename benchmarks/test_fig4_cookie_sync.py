@@ -1,0 +1,42 @@
+"""Figure 4 / §5.1.2 — cookie synchronization between organizations."""
+
+from conftest import BENCH_SCALE, scaled
+
+from repro.core.cookie_sync import detect_cookie_sync
+from repro.reporting.figures import figure4_ascii
+
+
+def test_fig4_cookie_sync(benchmark, study, paper, reporter):
+    log = study.porn_log()
+    report = benchmark.pedantic(lambda: detect_cookie_sync(log), rounds=1,
+                                iterations=1)
+
+    reporter.row("sites where syncing observed", scaled(paper.sync_sites),
+                 len(report.sites))
+    reporter.row("distinct (origin, destination) pairs",
+                 scaled(paper.sync_pairs), report.pair_count)
+    reporter.row("origin domains", scaled(paper.sync_origins),
+                 len(report.origins))
+    reporter.row("destination domains", scaled(paper.sync_destinations),
+                 len(report.destinations))
+    top100 = study.top_sites(100)
+    reporter.row("coverage of top-100 porn sites", "58%",
+                 f"{report.coverage_of(top100):.0%}")
+    threshold = max(2, round(paper.figure4_min_cookies * BENCH_SCALE))
+    reporter.row(f"pairs exchanging >= {threshold} cookies", "(Fig. 4 edges)",
+                 len(report.heavy_pairs(threshold)))
+    reporter.text(figure4_ascii(report, minimum=threshold))
+
+    # Shape: thousands of sites involved at full scale, more origins than
+    # destinations, the ExoClick family among the heavy syncers, and the
+    # hprofits same-organization triangle present.
+    assert len(report.sites) > 0.25 * len(study.porn_log().successful_visits())
+    assert len(report.origins) > len(report.destinations)
+    heavy = report.heavy_pairs(threshold)
+    assert heavy
+    assert any("exo" in origin for origin, _ in heavy)
+    hprofits_origins = {
+        origin for origin, destination in report.pair_counts
+        if destination == "hprofits.com"
+    }
+    assert hprofits_origins & {"hd100546b.com", "bd202457b.com"}

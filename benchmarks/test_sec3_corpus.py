@@ -1,0 +1,30 @@
+"""§3 — corpus compilation and sanitization (8,099 candidates -> 6,843)."""
+
+from conftest import scaled
+
+from repro.core.corpus import compile_candidates, sanitize_candidates
+
+
+def test_sec3_corpus(benchmark, study, paper, reporter):
+    candidates, sanitized = benchmark.pedantic(
+        lambda: study.corpus(), rounds=1, iterations=1
+    )
+    by_source = candidates.count_by_source()
+    reporter.row("candidate websites", scaled(paper.candidates_total),
+                 len(candidates))
+    reporter.row("  from aggregators", scaled(paper.from_aggregators),
+                 by_source.get("aggregator", 0))
+    reporter.row("  from Alexa Adult category",
+                 scaled(paper.from_alexa_category),
+                 by_source.get("alexa_category", 0))
+    reporter.row("  from keyword search", scaled(paper.from_keyword_search),
+                 by_source.get("keyword", 0))
+    reporter.row("false positives removed", scaled(paper.false_positives),
+                 sanitized.false_positives)
+    reporter.row("  unresponsive", scaled(paper.unresponsive_candidates),
+                 len(sanitized.unresponsive))
+    reporter.row("sanitized corpus", scaled(paper.sanitized_corpus),
+                 len(sanitized.corpus))
+
+    expected = scaled(paper.sanitized_corpus)
+    assert abs(len(sanitized.corpus) - expected) <= expected * 0.05

@@ -1,0 +1,20 @@
+"""§4.1 — monetization models (14% subscriptions; 23% of those paid)."""
+
+from repro.core.business import classify_business_models
+
+
+def test_sec41_business(benchmark, study, paper, reporter):
+    inspections = study.inspections()
+    report = benchmark(lambda: classify_business_models(inspections))
+
+    reporter.row("sites offering subscriptions",
+                 f"{paper.subscription_fraction:.0%}",
+                 f"{report.subscription_fraction:.1%}")
+    reporter.row("of those, behind a paywall",
+                 f"{paper.paid_subscription_fraction:.0%}",
+                 f"{report.paid_fraction_of_subscriptions:.1%}")
+    reporter.row("sites inspected", len(study.corpus_domains()),
+                 report.inspected)
+
+    assert 0.10 <= report.subscription_fraction <= 0.20
+    assert 0.15 <= report.paid_fraction_of_subscriptions <= 0.35

@@ -1,0 +1,44 @@
+"""§5.1.1 headline cookie statistics (92%/72%, 89k/51.6k/30.2k, IP/geo)."""
+
+from conftest import scaled
+
+from repro.core.cookie_analysis import analyze_cookies
+
+
+def test_sec51_cookie_stats(benchmark, study, paper, reporter):
+    log = study.porn_log()
+    stats = benchmark.pedantic(lambda: analyze_cookies(log), rounds=1,
+                               iterations=1)
+
+    reporter.row("sites installing cookies", "92%",
+                 f"{stats.sites_with_cookies_fraction:.0%}")
+    reporter.row("total cookies", scaled(paper.total_cookies),
+                 stats.total_cookies)
+    reporter.row("potential-ID cookies", scaled(paper.id_cookies),
+                 stats.id_cookies)
+    reporter.row("third-party ID cookies", scaled(paper.third_party_id_cookies),
+                 stats.third_party_id_cookies)
+    reporter.row("third-party cookie-setting domains",
+                 scaled(paper.cookie_setting_third_parties),
+                 len(stats.third_party_cookie_domains))
+    reporter.row("sites with third-party cookies", "72%",
+                 f"{stats.sites_with_third_party_cookies_fraction:.0%}")
+    reporter.row("ID cookies > 1,000 chars", "3%",
+                 f"{stats.huge_id_cookies / max(1, stats.id_cookies):.1%}")
+    reporter.row("cookies embedding the client IP",
+                 scaled(paper.ip_embedding_cookies), stats.ip_cookies)
+    exo = sum(count for domain, count in stats.ip_cookie_domains.items()
+              if domain.startswith("ex"))
+    reporter.row("  ExoClick share of IP cookies", "97%",
+                 f"{exo / max(1, stats.ip_cookies):.0%}")
+    reporter.row("geolocation cookies / sites",
+                 f"{scaled(paper.geo_cookies)} / {scaled(paper.geo_cookie_sites)}",
+                 f"{stats.geo_cookies} / {len(stats.geo_cookie_sites)}")
+    reporter.row("top-100 cookies' site coverage", ">30%",
+                 f"{stats.popular_cookie_site_coverage(100):.0%}")
+
+    assert 0.85 <= stats.sites_with_cookies_fraction <= 1.0
+    assert 0.60 <= stats.sites_with_third_party_cookies_fraction <= 0.85
+    assert stats.third_party_id_cookies > 0.4 * stats.id_cookies
+    assert exo / max(1, stats.ip_cookies) > 0.85
+    assert stats.geo_cookies >= 1

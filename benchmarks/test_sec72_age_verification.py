@@ -1,0 +1,42 @@
+"""§7.2 — age verification on the top-50 porn sites, four countries."""
+
+
+def test_sec72_age_verification(benchmark, study, paper, reporter):
+    report = benchmark.pedantic(
+        lambda: study.age_verification(top_n=50,
+                                       countries=("US", "UK", "ES", "RU")),
+        rounds=1, iterations=1,
+    )
+
+    for country in ("US", "UK", "ES", "RU"):
+        summary = report.by_country[country]
+        target = (paper.age_gate_top50_fraction_russia if country == "RU"
+                  else paper.age_gate_top50_fraction)
+        reporter.row(
+            f"{country}: sites with age gate",
+            f"{target:.0%}",
+            f"{summary.gate_fraction:.0%} ({len(summary.gated_sites)} of "
+            f"{summary.inspected})",
+        )
+    western = ("US", "UK", "ES")
+    reporter.row("US/UK/ES show the same gated set", "yes",
+                 "yes" if report.consistent_countries(western) else "no")
+    ru_only = report.only_in("RU", others=western)
+    missing = report.missing_in("RU", others=western)
+    reporter.row("gate only in Russia", f"{paper.age_gate_only_russia_fraction:.0%}",
+                 f"{len(ru_only) / 50:.0%} ({len(ru_only)} sites)")
+    reporter.row("gate everywhere except Russia",
+                 f"{paper.age_gate_except_russia_fraction:.0%}",
+                 f"{len(missing) / 50:.0%} ({len(missing)} sites)")
+    ru = report.by_country["RU"]
+    reporter.row("verifiable (login) gates in Russia", 1,
+                 len(ru.login_required_sites))
+    us = report.by_country["US"]
+    reporter.row("button gates bypassed by the crawler", "100%",
+                 f"{us.bypass_fraction:.0%}")
+
+    assert report.consistent_countries(western)
+    assert us.bypass_fraction == 1.0          # none are "verifiable"
+    assert ru_only or missing                  # Russia differs
+    assert len(ru.login_required_sites) >= 1   # pornhub's social login
+    assert not (ru.login_required_sites & ru.bypassed_sites)

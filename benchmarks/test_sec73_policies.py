@@ -1,0 +1,54 @@
+"""§7.3 — privacy policies: presence, GDPR mentions, similarity, Polisis."""
+
+from conftest import scaled
+
+from repro.core.compliance.policies import CollectedPolicy, analyze_policies
+from repro.net.url import registrable_domain
+
+
+def test_sec73_policies(benchmark, study, paper, reporter):
+    collected = [
+        CollectedPolicy(i.domain, i.policy.text, i.policy.status)
+        for i in study.inspections()
+        if i.reachable and i.policy.link_found
+    ]
+    observed = {
+        page: {registrable_domain(f) for f in fqdns}
+        for page, fqdns in study.porn_labels().third_party_direct.items()
+    }
+    corpus_size = len(study.corpus_domains())
+    report = benchmark.pedantic(
+        lambda: analyze_policies(collected, corpus_size=corpus_size,
+                                 observed_third_parties=observed),
+        rounds=1, iterations=1,
+    )
+
+    reporter.row("sites with accessible privacy policy",
+                 f"{paper.privacy_policy_fraction:.0%}",
+                 f"{report.presence_fraction:.1%}")
+    reporter.row("HTTP-error false positives",
+                 scaled(paper.policy_http_error_false_positives),
+                 report.http_error_false_positives)
+    reporter.row("policies mentioning the GDPR",
+                 f"{paper.policy_gdpr_mention_fraction:.0%}",
+                 f"{report.gdpr_fraction:.1%}")
+    reporter.row("mean policy length (letters)", paper.policy_mean_length,
+                 int(report.mean_letters))
+    reporter.row("min / max length",
+                 f"{paper.policy_min_length} / {paper.policy_max_length}",
+                 f"{report.min_letters} / {report.max_letters}")
+    reporter.row("policy pairs with similarity > 0.5",
+                 f"{paper.policy_pairs_similar_fraction:.0%}",
+                 f"{report.similar_pair_fraction:.1%}")
+    reporter.row("pairs compared", "1,202,312", report.pair_count)
+    top25 = study.top_sites(25)
+    reporter.row("top-25 tracking sites disclosing practices", "72%",
+                 f"{report.disclosure_fraction(top25):.0%}")
+    reporter.row("sites disclosing the full third-party list", 1,
+                 len(report.full_list_sites))
+
+    assert 0.10 <= report.presence_fraction <= 0.22
+    assert 0.12 <= report.gdpr_fraction <= 0.30
+    assert report.similar_pair_fraction > 0.6
+    assert report.mean_letters > 8_000
+    assert len(report.full_list_sites) >= 1

@@ -1,0 +1,49 @@
+"""Table 2 — first/third-party and ATS domain counts per ecosystem."""
+
+from conftest import scaled
+
+from repro.core.ecosystem import build_table2
+from repro.reporting.tables import render_table2
+
+
+def test_table2_third_parties(benchmark, study, paper, reporter):
+    porn_labels = study.porn_labels()
+    regular_labels = study.regular_labels()
+    porn_ats = study.porn_ats()
+    regular_ats = study.regular_ats()
+    table = benchmark(
+        lambda: build_table2(
+            porn_labels=porn_labels,
+            regular_labels=regular_labels,
+            porn_ats=porn_ats,
+            regular_ats=regular_ats,
+            porn_visited=len(study.porn_log().successful_visits()),
+            regular_visited=len(study.regular_log().successful_visits()),
+        )
+    )
+
+    reporter.row("porn corpus crawled", scaled(paper.crawlable_corpus),
+                 table.porn_corpus)
+    reporter.row("porn third-party FQDNs", scaled(paper.porn_third_party_fqdns),
+                 table.porn_third_party)
+    reporter.row("regular third-party FQDNs",
+                 scaled(paper.regular_third_party_fqdns),
+                 table.regular_third_party)
+    reporter.row("porn first-party FQDNs", scaled(paper.porn_first_party_fqdns),
+                 table.porn_first_party)
+    reporter.row("FQDN intersection |P ∩ R|", scaled(paper.fqdn_intersection),
+                 table.fqdn_intersection)
+    reporter.row("porn ATS", scaled(paper.porn_ats_fqdns), table.porn_ats)
+    reporter.row("regular ATS", scaled(paper.regular_ats_fqdns),
+                 table.regular_ats)
+    reporter.row("ATS intersection", scaled(paper.ats_intersection),
+                 table.ats_intersection)
+    reporter.row("porn ATS absent from regular web", "84%",
+                 f"{table.porn_only_ats_fraction:.0%}")
+    reporter.text(render_table2(table))
+
+    # Shape assertions: who wins and by roughly what factor.
+    assert table.regular_third_party > 2.5 * table.porn_third_party
+    assert table.porn_ats > 2 * table.regular_ats
+    assert table.porn_ats_fraction > 4 * table.regular_ats_fraction
+    assert table.porn_only_ats_fraction > 0.6

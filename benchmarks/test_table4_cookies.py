@@ -1,0 +1,48 @@
+"""Table 4 — top third-party domains delivering identifier cookies."""
+
+from conftest import scaled
+
+from repro.core.cookie_analysis import analyze_cookies
+from repro.net.url import registrable_domain
+from repro.reporting.tables import render_table4
+
+
+def test_table4_cookies(benchmark, study, paper, reporter):
+    regular_bases = {
+        registrable_domain(fqdn)
+        for fqdn in study.regular_labels().all_third_party_fqdns
+    }
+    ats_bases = {
+        registrable_domain(fqdn) for fqdn in study.porn_ats().ats_fqdns
+    } | study.porn_ats().ats_domains_relaxed
+    log = study.porn_log()
+    stats = benchmark.pedantic(
+        lambda: analyze_cookies(log, ats_domains=ats_bases,
+                                regular_web_domains=regular_bases),
+        rounds=1, iterations=1,
+    )
+
+    for domain, fraction, cookies, ip_fraction in paper.top_cookie_domains:
+        measured = next((d for d in stats.top_domains if d.domain == domain),
+                        None)
+        if measured is None:
+            reporter.row(f"{domain}", f"{fraction:.0%} / {cookies} cookies",
+                         "below top-5")
+            continue
+        reporter.row(
+            f"{domain}: % sites / cookies / % with IP",
+            f"{fraction:.0%} / {scaled(cookies)} / {ip_fraction:.0%}",
+            f"{measured.site_fraction:.0%} / {measured.cookie_count} / "
+            f"{measured.ip_cookie_fraction:.0%}",
+        )
+    reporter.text(render_table4(stats))
+
+    # exosrv.com leads Table 4 and most of its cookies embed the client IP.
+    assert stats.top_domains
+    exosrv = next((d for d in stats.top_domains if d.domain == "exosrv.com"),
+                  None)
+    assert exosrv is not None
+    assert exosrv.ip_cookie_fraction > 0.7
+    assert exosrv.is_ats
+    # All Table 4 rows are ATS services (as in the paper).
+    assert all(d.is_ats for d in stats.top_domains)

@@ -1,0 +1,59 @@
+"""Table 5 / §5.1.3 — canvas fingerprinting and WebRTC third parties."""
+
+from conftest import scaled
+
+from repro.core.fingerprinting import analyze_fingerprinting
+from repro.reporting.tables import render_table5
+
+
+def test_table5_fingerprinting(benchmark, study, paper, reporter):
+    classifier = study.ats_classifier()
+    js_calls = study.porn_log().js_calls
+    report = benchmark.pedantic(
+        lambda: analyze_fingerprinting(
+            js_calls, url_blocklisted=lambda url: classifier.matches_url(url)
+        ),
+        rounds=1, iterations=1,
+    )
+
+    reporter.row("scripts passing strict Englehardt-Narayanan filters", 0,
+                 len(report.englehardt_scripts))
+    reporter.row("canvas-fingerprinting scripts (paper rule)",
+                 scaled(paper.canvas_scripts), len(report.canvas_scripts))
+    reporter.row("sites with canvas fingerprinting",
+                 scaled(paper.canvas_sites), len(report.canvas_sites))
+    reporter.row("third-party services delivering them",
+                 scaled(paper.canvas_third_party_services),
+                 len(report.canvas_services()))
+    tp_fraction = (len(report.canvas_third_party_scripts())
+                   / max(1, len(report.canvas_scripts)))
+    reporter.row("fraction of scripts fetched from third parties", "74%",
+                 f"{tp_fraction:.0%}")
+    reporter.row("canvas scripts NOT in EasyList/EasyPrivacy", "91%",
+                 f"{report.unlisted_canvas_fraction():.0%}")
+    reporter.row("font-enumeration scripts (online-metrix.net)",
+                 paper.font_fp_scripts, len(report.font_enumeration_scripts))
+    reporter.row("WebRTC scripts", scaled(paper.webrtc_scripts),
+                 len(report.webrtc_scripts))
+    reporter.row("WebRTC sites", scaled(paper.webrtc_sites),
+                 len(report.webrtc_sites))
+
+    labels = study.porn_labels()
+    rows = report.per_service_table(
+        lambda domain: len(labels.sites_embedding(domain))
+    )
+    regular_bases = {
+        fqdn.split(".", 1)[-1] if fqdn.count(".") > 1 else fqdn
+        for fqdn in study.regular_labels().all_third_party_fqdns
+    }
+    reporter.text(render_table5(
+        rows,
+        is_ats=classifier.matches_domain,
+        in_regular_web=lambda domain: domain in regular_bases,
+    ))
+
+    # The paper's headline negative + positive results.
+    assert len(report.englehardt_scripts) == 0
+    assert len(report.canvas_scripts) > 0
+    assert report.unlisted_canvas_fraction() > 0.75
+    assert 0.5 <= tp_fraction <= 0.95

@@ -1,0 +1,37 @@
+"""Table 6 / §5.2 — HTTPS adoption by popularity tier."""
+
+from repro.core.https_analysis import analyze_https
+from repro.reporting.tables import render_table6
+
+
+def test_table6_https(benchmark, study, paper, reporter):
+    log = study.porn_log()
+    labels = study.porn_labels()
+    popularity = study.crawled_popularity()
+    report = benchmark(lambda: analyze_https(log, labels, popularity))
+
+    for index, row in enumerate(report.rows):
+        reporter.row(
+            f"tier {row.interval}: site HTTPS",
+            f"{paper.tier_https_site_fraction[index]:.0%}",
+            f"{row.site_https_fraction:.0%}",
+        )
+        reporter.row(
+            f"tier {row.interval}: third-party HTTPS",
+            f"{paper.tier_https_service_fraction[index]:.0%}",
+            f"{row.service_https_fraction:.0%}",
+        )
+    reporter.row("sites not fully HTTPS", "68%",
+                 f"{report.not_fully_https_fraction:.0%}")
+    reporter.row("of those, leaking sensitive cookies in clear", "8%",
+                 f"{report.cleartext_cookie_fraction:.0%}")
+    reporter.text(render_table6(report))
+
+    # Monotone decay with popularity, for sites and services alike.
+    site_fracs = [r.site_https_fraction for r in report.rows
+                  if r.site_count >= 10]
+    assert site_fracs == sorted(site_fracs, reverse=True)
+    assert report.rows[0].site_https_fraction > 0.8
+    assert report.rows[3].site_https_fraction < 0.3
+    assert 0.55 <= report.not_fully_https_fraction <= 0.85
+    assert report.cleartext_cookie_fraction < 0.3

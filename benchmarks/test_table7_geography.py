@@ -1,0 +1,39 @@
+"""Table 7 / §6.1 — per-country third-party populations."""
+
+from conftest import scaled
+
+from repro.reporting.tables import render_table7
+
+
+def test_table7_geography(benchmark, study, paper, reporter):
+    report = benchmark.pedantic(lambda: study.geography(), rounds=1,
+                                iterations=1)
+
+    paper_rows = {row[0]: row for row in paper.per_country_fqdns}
+    by_country = {row.country: row for row in report.rows}
+    for country, fqdns, unique, ats, unique_ats in paper.per_country_fqdns:
+        measured = by_country.get(country)
+        if measured is None:
+            continue
+        reporter.row(
+            f"{country}: FQDNs / unique / ATS / unique ATS",
+            f"{scaled(fqdns)} / {scaled(unique)} / {scaled(ats)} / "
+            f"{scaled(unique_ats)}",
+            f"{measured.fqdn_count} / {measured.unique_fqdns} / "
+            f"{measured.ats_count} / {measured.unique_ats}",
+        )
+    reporter.row("total distinct FQDNs across countries",
+                 scaled(paper.all_country_fqdn_total), report.total_fqdns)
+    reporter.row("blocked sites in Russia", scaled(paper.blocked_sites_russia),
+                 by_country["RU"].blocked_sites)
+    reporter.row("blocked sites in India", scaled(paper.blocked_sites_india),
+                 by_country["IN"].blocked_sites)
+    reporter.text(render_table7(report))
+
+    # Shape: Russia sees the fewest third parties; every country has
+    # unique regional services; the union exceeds any single country.
+    fqdn_counts = {row.country: row.fqdn_count for row in report.rows}
+    assert fqdn_counts["RU"] == min(fqdn_counts.values())
+    assert all(row.unique_fqdns > 0 for row in report.rows)
+    assert report.total_fqdns > max(fqdn_counts.values())
+    assert by_country["IN"].blocked_sites > by_country["RU"].blocked_sites > 0

@@ -1,0 +1,41 @@
+"""Table 8 / §7.1 — cookie-consent banner taxonomy, EU vs USA."""
+
+from repro.core.compliance.banners import (
+    BANNER_BINARY,
+    BANNER_CONFIRMATION,
+    BANNER_NO_OPTION,
+    BANNER_OTHER,
+    analyze_banners,
+)
+from repro.reporting.tables import render_table8
+
+
+def test_table8_banners(benchmark, study, paper, reporter):
+    eu_log = study.porn_log()  # the Spanish crawl keeps HTML
+    corpus_size = len(study.corpus_domains())
+    eu = benchmark(lambda: analyze_banners(eu_log, corpus_size=corpus_size))
+    us = study.banners("US")
+
+    mapping = [
+        ("No Option", BANNER_NO_OPTION, "no_option"),
+        ("Confirmation", BANNER_CONFIRMATION, "confirmation"),
+        ("Binary", BANNER_BINARY, "binary"),
+        ("Others", BANNER_OTHER, "other"),
+    ]
+    for label, banner_type, key in mapping:
+        reporter.row(
+            f"{label}: EU / USA",
+            f"{paper.banner_fractions_eu[key]:.2%} / "
+            f"{paper.banner_fractions_us[key]:.2%}",
+            f"{eu.fraction(banner_type):.2%} / {us.fraction(banner_type):.2%}",
+        )
+    reporter.row("Total: EU / USA", "4.41% / 3.76%",
+                 f"{eu.total_fraction:.2%} / {us.total_fraction:.2%}")
+    reporter.text(render_table8(eu, us))
+
+    # Shape: banners are rare; the EU sees slightly more than the US;
+    # confirmation dominates; binary banners are nearly EU-exclusive.
+    assert eu.total_fraction < 0.10
+    assert eu.total_fraction >= us.total_fraction
+    assert eu.fraction(BANNER_CONFIRMATION) >= eu.fraction(BANNER_BINARY)
+    assert eu.fraction(BANNER_BINARY) >= us.fraction(BANNER_BINARY)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Anti-tracking effectiveness (the paper's §10 future work, implemented).
+
+Crawls the corpus twice — once unprotected, once behind an
+EasyList/EasyPrivacy content blocker — and shows how much of the porn
+ecosystem's tracking survives, because its specialized trackers are not
+indexed by the blocklists (91% of fingerprinting scripts in the paper).
+
+Also prints the other two future-work studies: tracking by monetization
+model, and cross-border identifier flows for an EU visitor.
+
+Run:  python examples/anti_tracking.py [scale]
+"""
+
+import sys
+
+from repro import Study, UniverseConfig
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    study = Study.build(UniverseConfig(scale=scale))
+    print(f"corpus: {len(study.corpus_domains())} sites (scale={scale})\n")
+
+    # --- Ad-blocker simulation -------------------------------------------------
+    comparison = study.adblock_comparison()
+    print("Crawling with an EasyList/EasyPrivacy content blocker:")
+    print(f"  requests cancelled         : {comparison.requests_blocked}")
+    print(f"  third-party ID cookies     : "
+          f"{comparison.baseline_third_party_cookies} -> "
+          f"{comparison.protected_third_party_cookies}  "
+          f"(-{comparison.cookie_reduction:.0%})")
+    print(f"  canvas-fingerprinted sites : "
+          f"{len(comparison.baseline_canvas_sites)} -> "
+          f"{len(comparison.protected_canvas_sites)}  "
+          f"(-{comparison.canvas_reduction:.0%})")
+    print(f"  trackers still active      : "
+          f"{comparison.surviving_tracker_fraction:.0%}")
+    print("  -> blocklists curb cookies but barely touch the unlisted")
+    print("     fingerprinters — the paper's central anti-tracking warning\n")
+
+    # --- Tracking by monetization model ---------------------------------------------
+    subscription = study.subscription_tracking()
+    print("Tracking surface by monetization model:")
+    print(f"  {'model':<20} {'sites':>6} {'mean TPs':>9} {'mean TP cookies':>16}")
+    for row in subscription.rows:
+        print(f"  {row.model:<20} {row.site_count:>6} "
+              f"{row.mean_third_parties:>9.1f} "
+              f"{row.mean_third_party_id_cookies:>16.1f}")
+    print()
+
+    # --- Cross-border identifier flows ---------------------------------------------------
+    border = study.cross_border()
+    print("Cross-border flows for a visitor in Spain (EU):")
+    print(f"  third-party requests located: {border.requests_total}")
+    print(f"  terminating outside the EU  : {border.outside_eu_fraction:.0%}")
+    top = sorted(border.by_country.items(), key=lambda item: -item[1])[:5]
+    for code, count in top:
+        print(f"    {code}: {count}")
+    print(f"  services holding an ID cookie for this browser and hosted "
+          f"outside the EU: {border.id_export_fraction:.0%} of "
+          f"{len(border.id_cookie_domains)}")
+
+
+if __name__ == "__main__":
+    main()

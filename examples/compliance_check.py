@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Regulatory-compliance check (the paper's Section 7).
+
+For a corpus of pornographic sites: cookie-consent banners (EU vs USA),
+age-verification mechanisms on the most popular sites, and privacy-policy
+presence/quality — ending with a per-site GDPR red-flag list.
+
+Run:  python examples/compliance_check.py [scale]
+"""
+
+import sys
+
+from repro import Study, UniverseConfig
+from repro.reporting import render_table8
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    study = Study.build(UniverseConfig(scale=scale))
+    corpus = study.corpus_domains()
+    print(f"corpus: {len(corpus)} sites (scale={scale})\n")
+
+    # --- Cookie banners (§7.1, Table 8) ----------------------------------------
+    eu = study.banners("ES")
+    us = study.banners("US")
+    print("Cookie-consent banners (fraction of the corpus):")
+    print(render_table8(eu, us))
+    no_option = eu.count("no_option")
+    print(f"\n{no_option} of {len(eu.observations)} EU banners give the user "
+          "no choice at all (No Option type)")
+
+    # --- Age verification (§7.2) ---------------------------------------------------
+    report = study.age_verification(top_n=min(50, len(corpus)),
+                                    countries=("US", "UK", "ES", "RU"))
+    print("\nAge verification on the top-50 sites:")
+    for country in ("US", "UK", "ES", "RU"):
+        summary = report.by_country[country]
+        print(f"  {country}: {len(summary.gated_sites)} gated, "
+              f"{len(summary.bypassed_sites)} bypassed by the crawler, "
+              f"{len(summary.login_required_sites)} verifiable (login-based)")
+    ru = report.by_country["RU"]
+    if ru.login_required_sites:
+        print(f"  only {sorted(ru.login_required_sites)[0]} implements a "
+              "verifiable mechanism, and only for Russian visitors")
+
+    # --- Privacy policies (§7.3) -------------------------------------------------------
+    policies = study.policies()
+    print(f"\nPrivacy policies: {len(policies.valid_policies)} of "
+          f"{len(corpus)} sites ({policies.presence_fraction:.0%})")
+    print(f"  mention the GDPR: {policies.gdpr_fraction:.0%}")
+    print(f"  mean length: {policies.mean_letters:,.0f} letters "
+          f"(min {policies.min_letters:,}, max {policies.max_letters:,})")
+    print(f"  pairs with TF-IDF similarity > 0.5: "
+          f"{policies.similar_pair_fraction:.0%} (template reuse)")
+
+    # --- Red flags: tracking without transparency -----------------------------------------
+    stats = study.cookie_stats()
+    with_policy = {policy.site_domain for policy in policies.valid_policies}
+    bannered = {observation.site_domain for observation in eu.observations}
+    tracked = {
+        cookie.page_domain for cookie in study.porn_log().cookies
+        if not cookie.session and len(cookie.value) >= 6
+    }
+    silent = sorted(tracked - with_policy - bannered)
+    print(f"\nGDPR red flags: {len(silent)} of {len(corpus)} sites "
+          f"({len(silent) / len(corpus):.0%}) set identifier cookies with "
+          "neither a privacy policy nor a consent banner:")
+    for domain in silent[:10]:
+        print(f"  - {domain}")
+    if len(silent) > 10:
+        print(f"  ... and {len(silent) - 10} more")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small synthetic porn-web universe, crawl ten sites
+with the instrumented browser, and look at what the trackers did.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import UniverseConfig, build_universe
+from repro.crawler import OpenWPMCrawler, VantagePointManager
+from repro.net.url import registrable_domain
+
+
+def main() -> None:
+    # A 2%-scale universe: ~137 porn sites, ~200 regular sites, full
+    # third-party ecosystem structure. seed makes everything reproducible.
+    universe = build_universe(UniverseConfig(seed=42, scale=0.02))
+    print(f"universe: {len(universe.porn_sites)} porn sites, "
+          f"{len(universe.regular_sites)} regular sites, "
+          f"{len(universe.services)} third-party services\n")
+
+    # Crawl ten landing pages from the Spanish vantage point, reusing one
+    # browser session (cookies persist across sites, as in the paper).
+    vantage_points = VantagePointManager()
+    crawler = OpenWPMCrawler(universe, vantage_points.home)
+    sites = sorted(
+        domain for domain, site in universe.porn_sites.items()
+        if site.responsive and not site.crawl_flaky
+    )[:10]
+    log = crawler.crawl(sites)
+
+    print(f"crawled {len(log.visits)} landing pages")
+    print(f"  HTTP requests observed : {len(log.requests)}")
+    print(f"  cookies stored         : {len(log.cookies)}")
+    print(f"  JS API calls           : {len(log.js_calls)}\n")
+
+    # Who did the pages talk to?
+    third_parties = sorted({
+        registrable_domain(record.fqdn)
+        for record in log.requests
+        if registrable_domain(record.fqdn)
+        != registrable_domain(record.page_domain)
+    })
+    print(f"third-party domains contacted ({len(third_parties)}):")
+    for domain in third_parties[:15]:
+        print(f"  - {domain}")
+    if len(third_parties) > 15:
+        print(f"  ... and {len(third_parties) - 15} more")
+
+    # Which third parties dropped identifier cookies?
+    id_cookies = [
+        cookie for cookie in log.cookies
+        if not cookie.session and len(cookie.value) >= 6
+        and registrable_domain(cookie.domain)
+        != registrable_domain(cookie.page_domain)
+    ]
+    print(f"\nthird-party identifier cookies: {len(id_cookies)}")
+    for cookie in id_cookies[:5]:
+        print(f"  {cookie.domain:<24} {cookie.name}="
+              f"{cookie.value[:24]}{'...' if len(cookie.value) > 24 else ''}")
+
+
+if __name__ == "__main__":
+    main()

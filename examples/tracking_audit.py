@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Tracking audit (the paper's Section 5 on a mid-scale corpus).
+
+Measures HTTP cookies, cookie synchronization, and fingerprinting across
+the crawled corpus and prints the paper's Tables 4-5 plus the Figure 4
+sync graph.
+
+Run:  python examples/tracking_audit.py [scale]
+"""
+
+import sys
+
+from repro import Study, UniverseConfig
+from repro.reporting import figure4_ascii, render_table4, render_table5
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    study = Study.build(UniverseConfig(scale=scale))
+    corpus = study.corpus_domains()
+    print(f"corpus: {len(corpus)} pornographic websites (scale={scale})\n")
+
+    # --- HTTP cookies (§5.1.1) -------------------------------------------------
+    stats = study.cookie_stats()
+    print(f"{stats.sites_with_cookies_fraction:.0%} of sites install cookies; "
+          f"{stats.sites_with_third_party_cookies_fraction:.0%} install "
+          "third-party cookies")
+    print(f"{stats.id_cookies} potential identifier cookies "
+          f"({stats.third_party_id_cookies} third-party); "
+          f"{stats.ip_cookies} embed the client IP; "
+          f"{stats.geo_cookies} embed geolocation\n")
+    print(render_table4(stats))
+
+    # --- Cookie syncing (§5.1.2) -------------------------------------------------
+    sync = study.cookie_sync()
+    print(f"\ncookie syncing on {len(sync.sites)} sites: "
+          f"{sync.pair_count} (origin, destination) pairs, "
+          f"{len(sync.origins)} origins, {len(sync.destinations)} destinations")
+    print(figure4_ascii(sync, minimum=max(2, int(75 * scale)), top_n=10))
+
+    # --- Fingerprinting (§5.1.3) ---------------------------------------------------
+    fingerprinting = study.fingerprinting()
+    print(f"\nstrict Englehardt-Narayanan canvas detections: "
+          f"{len(fingerprinting.englehardt_scripts)} (the paper also found 0)")
+    print(f"canvas fingerprinting via the measureText rule: "
+          f"{len(fingerprinting.canvas_scripts)} scripts on "
+          f"{len(fingerprinting.canvas_sites)} sites from "
+          f"{len(fingerprinting.canvas_services())} third-party services")
+    print(f"{fingerprinting.unlisted_canvas_fraction():.0%} of those scripts "
+          "are NOT indexed by EasyList/EasyPrivacy")
+    print(f"WebRTC usage: {len(fingerprinting.webrtc_scripts)} scripts on "
+          f"{len(fingerprinting.webrtc_sites)} sites\n")
+
+    labels = study.porn_labels()
+    classifier = study.ats_classifier()
+    rows = fingerprinting.per_service_table(
+        lambda domain: len(labels.sites_embedding(domain))
+    )
+    print(render_table5(
+        rows,
+        is_ats=classifier.matches_domain,
+        in_regular_web=lambda domain: False,
+    ))
+
+
+if __name__ == "__main__":
+    main()

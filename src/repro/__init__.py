@@ -1,0 +1,26 @@
+"""repro — reproduction of "Tales from the Porn: A Comprehensive Privacy
+Analysis of the Web Porn Ecosystem" (IMC 2019).
+
+The public API centers on three layers:
+
+* :func:`repro.webgen.build_universe` — the synthetic web (substitute for
+  the live crawl substrate);
+* :class:`repro.crawler.OpenWPMCrawler` / :class:`repro.crawler.SeleniumCrawler`
+  — the paper's two crawlers;
+* :class:`repro.Study` — the full Section 3-7 pipeline with every table
+  and figure as a method.
+"""
+
+from .study import Study
+from .webgen.builder import build_universe
+from .webgen.config import CalibrationTargets, UniverseConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Study",
+    "build_universe",
+    "CalibrationTargets",
+    "UniverseConfig",
+    "__version__",
+]

@@ -1,0 +1,145 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``corpus``   — compile and sanitize the §3 corpus, print the accounting.
+``crawl``    — crawl N sites from a vantage point, print tracker summary.
+``study``    — run the full study and print every table and figure.
+
+Every command accepts ``--scale`` (corpus size as a fraction of the
+paper's 6,843 sites) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import Study, UniverseConfig
+from .net.url import registrable_domain
+from .reporting import (
+    figure1_ascii,
+    figure3_ascii,
+    figure4_ascii,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table6,
+    render_table7,
+    render_table8,
+)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="corpus scale (1.0 = the paper's 6,843 sites)")
+    parser.add_argument("--seed", type=int, default=20191021)
+
+
+def _build_study(args: argparse.Namespace) -> Study:
+    return Study.build(UniverseConfig(seed=args.seed, scale=args.scale))
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    study = _build_study(args)
+    candidates, sanitized = study.corpus()
+    by_source = candidates.count_by_source()
+    print(f"candidates: {len(candidates)}")
+    for source, count in sorted(by_source.items()):
+        print(f"  {source}: {count}")
+    print(f"false positives: {sanitized.false_positives} "
+          f"({len(sanitized.unresponsive)} unresponsive, "
+          f"{len(sanitized.non_adult)} non-adult)")
+    print(f"sanitized corpus: {len(sanitized.corpus)} sites")
+    report = study.popularity()
+    print(f"always in the top-1M: {report.always_top_1m_count} "
+          f"({report.always_top_1m_fraction:.0%})")
+    return 0
+
+
+def cmd_crawl(args: argparse.Namespace) -> int:
+    from .crawler import OpenWPMCrawler
+
+    study = _build_study(args)
+    domains = study.corpus_domains()[: args.sites]
+    crawler = OpenWPMCrawler(
+        study.universe, study.vantage_points.point(args.country)
+    )
+    log = crawler.crawl(domains)
+    ok = sum(1 for visit in log.visits if visit.success)
+    print(f"crawled {ok}/{len(domains)} sites from {args.country}: "
+          f"{len(log.requests)} requests, {len(log.cookies)} cookies, "
+          f"{len(log.js_calls)} JS calls")
+    third_parties = sorted({
+        registrable_domain(record.fqdn) for record in log.requests
+        if registrable_domain(record.fqdn)
+        != registrable_domain(record.page_domain)
+    })
+    print(f"{len(third_parties)} third-party domains; top of the list:")
+    for domain in third_parties[: args.top]:
+        print(f"  {domain}")
+    return 0
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    study = _build_study(args)
+    print(f"== corpus ({len(study.corpus_domains())} sites) ==")
+    print(figure1_ascii(study.popularity()))
+    print("\n== Table 1: owners ==")
+    print(render_table1(study.owners(), study.best_rank))
+    print("\n== Table 2: third parties ==")
+    print(render_table2(study.table2()))
+    print("\n== Table 3: long tail ==")
+    print(render_table3(study.table3()))
+    print("\n== Figure 3: organizations ==")
+    print(figure3_ascii(study.figure3(top_n=10)))
+    print("\n== Table 4: cookies ==")
+    print(render_table4(study.cookie_stats()))
+    print("\n== Figure 4: cookie syncing ==")
+    print(figure4_ascii(study.cookie_sync(),
+                        minimum=max(2, int(75 * args.scale))))
+    print("\n== Table 6: HTTPS ==")
+    print(render_table6(study.https_report()))
+    if args.geo:
+        print("\n== Table 7: geography ==")
+        print(render_table7(study.geography()))
+    print("\n== Table 8: banners ==")
+    print(render_table8(study.banners("ES"), study.banners("US")))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Tales from the Porn' (IMC 2019)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    corpus = subparsers.add_parser("corpus", help="compile the §3 corpus")
+    _add_common(corpus)
+    corpus.set_defaults(func=cmd_corpus)
+
+    crawl = subparsers.add_parser("crawl", help="crawl sites, show trackers")
+    _add_common(crawl)
+    crawl.add_argument("--sites", type=int, default=25)
+    crawl.add_argument("--country", default="ES",
+                       choices=["ES", "US", "UK", "RU", "IN", "SG"])
+    crawl.add_argument("--top", type=int, default=15)
+    crawl.set_defaults(func=cmd_crawl)
+
+    study = subparsers.add_parser("study", help="run the whole paper")
+    _add_common(study)
+    study.add_argument("--geo", action="store_true",
+                       help="include the six-country Table 7 (slow)")
+    study.set_defaults(func=cmd_study)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Blocklists: EasyList/EasyPrivacy filter engine and Disconnect entities."""
+
+from .disconnect import DisconnectEntry, DisconnectList
+from .easylist import FilterList, FilterRule, MatchContext, parse_rule
+
+__all__ = [
+    "DisconnectEntry",
+    "DisconnectList",
+    "FilterList",
+    "FilterRule",
+    "MatchContext",
+    "parse_rule",
+]

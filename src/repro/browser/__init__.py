@@ -1,0 +1,18 @@
+"""Instrumented browser and crawl log schema."""
+
+from .browser import Browser, MAX_REDIRECTS
+from .events import CookieRecord, CrawlLog, PageVisit, RequestRecord
+from .storage import dump_lines, load_log, parse_lines, save_log
+
+__all__ = [
+    "Browser",
+    "MAX_REDIRECTS",
+    "CookieRecord",
+    "CrawlLog",
+    "PageVisit",
+    "RequestRecord",
+    "dump_lines",
+    "load_log",
+    "parse_lines",
+    "save_log",
+]

@@ -1,0 +1,86 @@
+"""The paper's analysis methodology (Sections 3-7)."""
+
+from .ats import ATSClassifier, ATSResult
+from .attribution import AttributionResult, attribute_organizations
+from .business import BusinessReport, classify_business_models
+from .cookie_analysis import CookieStats, analyze_cookies, decode_cookie_value
+from .cookie_sync import SyncReport, detect_cookie_sync
+from .corpus import (
+    CandidateSet,
+    SanitizedCorpus,
+    build_corpus,
+    classify_adult_content,
+    compile_candidates,
+    sanitize_candidates,
+)
+from .ecosystem import (
+    OrganizationPrevalence,
+    Table2,
+    Table3,
+    TierRow,
+    build_figure3,
+    build_table2,
+    build_table3,
+)
+from .fingerprinting import (
+    FingerprintingReport,
+    analyze_fingerprinting,
+    is_canvas_fingerprinting,
+    is_font_enumeration,
+    passes_englehardt_canvas,
+)
+from .geodiff import CountryObservation, CountryRow, GeoReport, analyze_geography
+from .https_analysis import HTTPSReport, HTTPSTierRow, analyze_https
+from .malware import MalwareReport, analyze_malware
+from .owners import OwnerCluster, OwnerReport, discover_owners
+from .partylabel import PartyLabels, label_parties
+from .popularity import PopularityReport, SitePopularity, analyze_popularity
+
+__all__ = [
+    "ATSClassifier",
+    "ATSResult",
+    "AttributionResult",
+    "attribute_organizations",
+    "BusinessReport",
+    "classify_business_models",
+    "CookieStats",
+    "analyze_cookies",
+    "decode_cookie_value",
+    "SyncReport",
+    "detect_cookie_sync",
+    "CandidateSet",
+    "SanitizedCorpus",
+    "build_corpus",
+    "classify_adult_content",
+    "compile_candidates",
+    "sanitize_candidates",
+    "OrganizationPrevalence",
+    "Table2",
+    "Table3",
+    "TierRow",
+    "build_figure3",
+    "build_table2",
+    "build_table3",
+    "FingerprintingReport",
+    "analyze_fingerprinting",
+    "is_canvas_fingerprinting",
+    "is_font_enumeration",
+    "passes_englehardt_canvas",
+    "CountryObservation",
+    "CountryRow",
+    "GeoReport",
+    "analyze_geography",
+    "HTTPSReport",
+    "HTTPSTierRow",
+    "analyze_https",
+    "MalwareReport",
+    "analyze_malware",
+    "OwnerCluster",
+    "OwnerReport",
+    "discover_owners",
+    "PartyLabels",
+    "label_parties",
+    "PopularityReport",
+    "SitePopularity",
+    "analyze_popularity",
+]

@@ -1,0 +1,96 @@
+"""Section 4.2(2) — ATS classification via EasyList / EasyPrivacy.
+
+The lists are rule-based over full URLs (``bbc.co.uk`` is clean while
+``bbc.co.uk/analytics`` is blocked), so classification matches every
+observed request URL; the paper also applies a relaxed base-domain match
+to count ATS *organizations*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..blocklists.easylist import FilterList, MatchContext
+from ..browser.events import CrawlLog
+from ..net.url import URLError, parse_url, registrable_domain
+
+__all__ = ["ATSClassifier", "ATSResult"]
+
+
+@dataclass
+class ATSResult:
+    """Which observed third parties the blocklists recognize as ATS."""
+
+    #: FQDNs with at least one full-URL rule match.
+    ats_fqdns: Set[str] = field(default_factory=set)
+    #: Registrable domains matched by the relaxed base-domain method.
+    ats_domains_relaxed: Set[str] = field(default_factory=set)
+    #: page -> ATS FQDNs embedded there.
+    per_page: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @property
+    def fqdn_count(self) -> int:
+        return len(self.ats_fqdns)
+
+
+class ATSClassifier:
+    """Joint EasyList + EasyPrivacy classifier."""
+
+    def __init__(self, easylist: FilterList, easyprivacy: FilterList) -> None:
+        self.easylist = easylist
+        self.easyprivacy = easyprivacy
+
+    @classmethod
+    def from_texts(cls, easylist_text: str, easyprivacy_text: str) -> "ATSClassifier":
+        return cls(FilterList.from_text(easylist_text),
+                   FilterList.from_text(easyprivacy_text))
+
+    def matches_url(self, url: str, *, first_party_host: str = "",
+                    resource_type: str = "script") -> bool:
+        """Full-URL match against both lists (the strict method)."""
+        try:
+            parsed = parse_url(url)
+        except URLError:
+            return False
+        context = MatchContext(first_party_host=first_party_host,
+                               resource_type=resource_type)
+        return self.easylist.matches(parsed, context) or \
+            self.easyprivacy.matches(parsed, context)
+
+    def matches_domain(self, host: str) -> bool:
+        """Relaxed base-FQDN match (the organization-level method)."""
+        return self.easylist.matches_domain(host) or \
+            self.easyprivacy.matches_domain(host)
+
+    def classify_log(
+        self,
+        log: CrawlLog,
+        *,
+        third_party_fqdns: Optional[Set[str]] = None,
+    ) -> ATSResult:
+        """Classify every (page, request) in a crawl log.
+
+        ``third_party_fqdns`` restricts classification to labeled third
+        parties (pass :attr:`PartyLabels.all_third_party_fqdns`).
+        """
+        result = ATSResult()
+        for record in log.requests:
+            if record.failed or record.resource_type == "document":
+                continue
+            if third_party_fqdns is not None and \
+                    record.fqdn not in third_party_fqdns:
+                continue
+            if record.fqdn in result.ats_fqdns:
+                result.per_page.setdefault(record.page_domain, set()).add(record.fqdn)
+                continue
+            if self.matches_url(record.url, first_party_host=record.page_domain,
+                                resource_type=record.resource_type):
+                result.ats_fqdns.add(record.fqdn)
+                result.per_page.setdefault(record.page_domain, set()).add(record.fqdn)
+            elif self.matches_domain(record.fqdn):
+                result.ats_domains_relaxed.add(registrable_domain(record.fqdn))
+        # Relaxed matches subsume strict ones at the domain level.
+        for fqdn in result.ats_fqdns:
+            result.ats_domains_relaxed.add(registrable_domain(fqdn))
+        return result

@@ -1,0 +1,136 @@
+"""Section 5.1.2 / Figure 4 — cookie-synchronization detection.
+
+A sync is detected when a previously observed cookie *value* later appears
+verbatim inside a request URL to a different domain.  Following the paper,
+values are matched whole — never split on delimiters — so the measurement
+is a lower bound.  Matching is implemented by extracting candidate tokens
+(query-parameter values and path segments) from each request URL and
+looking them up against the set of cookie values seen so far, which keeps
+the scan linear in the number of requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..browser.events import CrawlLog
+from ..net.url import URLError, parse_url, registrable_domain
+
+__all__ = ["SyncEvent", "SyncReport", "detect_cookie_sync", "MIN_VALUE_LENGTH"]
+
+#: Values shorter than this are too ambiguous to match (avoids false
+#: positives on short tokens like "1" or "en").
+MIN_VALUE_LENGTH = 8
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """One observed synchronization: a cookie value shipped to a partner."""
+
+    page_domain: str     # site where it happened
+    origin_domain: str   # registrable domain that owned the cookie
+    destination: str     # registrable domain receiving the value
+    cookie_name: str
+    value: str
+
+
+@dataclass
+class SyncReport:
+    """Aggregate §5.1.2 findings."""
+
+    events: List[SyncEvent] = field(default_factory=list)
+    #: (origin, destination) -> number of cookies observed shipped.
+    pair_counts: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    sites: Set[str] = field(default_factory=set)
+
+    @property
+    def pair_count(self) -> int:
+        return len(self.pair_counts)
+
+    @property
+    def origins(self) -> Set[str]:
+        return {origin for origin, _ in self.pair_counts}
+
+    @property
+    def destinations(self) -> Set[str]:
+        return {destination for _, destination in self.pair_counts}
+
+    def heavy_pairs(self, minimum: int = 75) -> Dict[Tuple[str, str], int]:
+        """Figure 4's edge set: pairs exchanging at least ``minimum`` cookies."""
+        return {
+            pair: count for pair, count in self.pair_counts.items()
+            if count >= minimum
+        }
+
+    def coverage_of(self, sites: Iterable[str]) -> float:
+        """Fraction of the given sites on which syncing was observed."""
+        sites = list(sites)
+        if not sites:
+            return 0.0
+        return sum(1 for site in sites if site in self.sites) / len(sites)
+
+
+def _url_tokens(url: str) -> List[str]:
+    """Candidate value tokens in a URL: query values and path segments."""
+    try:
+        parsed = parse_url(url)
+    except URLError:
+        return []
+    tokens = [
+        value for value in parsed.query_params().values()
+        if len(value) >= MIN_VALUE_LENGTH
+    ]
+    tokens.extend(
+        segment for segment in parsed.path.split("/")
+        if len(segment) >= MIN_VALUE_LENGTH
+    )
+    return tokens
+
+
+def detect_cookie_sync(log: CrawlLog) -> SyncReport:
+    """Scan a crawl log for cookie values reappearing in request URLs."""
+    report = SyncReport()
+    # value -> (owning registrable domain, cookie name, seq first observed)
+    value_owner: Dict[str, Tuple[str, str, int]] = {}
+
+    events = []
+    for cookie in log.cookies:
+        if len(cookie.value) < MIN_VALUE_LENGTH:
+            continue
+        events.append((cookie.seq, "cookie", cookie))
+    for record in log.requests:
+        events.append((record.seq, "request", record))
+    events.sort(key=lambda item: item[0])
+
+    for _, kind, payload in events:
+        if kind == "cookie":
+            key = payload.value
+            if key not in value_owner:
+                value_owner[key] = (
+                    registrable_domain(payload.domain),
+                    payload.name,
+                    payload.seq,
+                )
+            continue
+
+        destination = registrable_domain(payload.fqdn)
+        for token in _url_tokens(payload.url):
+            owner = value_owner.get(token)
+            if owner is None:
+                continue
+            origin_domain, cookie_name, _ = owner
+            if origin_domain == destination:
+                continue  # not a cross-domain share
+            event = SyncEvent(
+                page_domain=payload.page_domain,
+                origin_domain=origin_domain,
+                destination=destination,
+                cookie_name=cookie_name,
+                value=token,
+            )
+            report.events.append(event)
+            pair = (origin_domain, destination)
+            report.pair_counts[pair] = report.pair_counts.get(pair, 0) + 1
+            report.sites.add(payload.page_domain)
+    return report

@@ -1,0 +1,28 @@
+"""Extensions: the paper's Section 10 future-work studies, implemented.
+
+* :mod:`adblock_sim` — effectiveness of blocklist-based anti-tracking on
+  this ecosystem (where 91% of fingerprinting scripts are unlisted);
+* :mod:`subscriptions` — tracking on subscription vs free vs ad-supported
+  sites;
+* :mod:`crossborder` — cross-border flows of tracking identifiers from
+  EU visitors (Iordanou et al. style).
+"""
+
+from .adblock_sim import AdblockComparison, compare_protection, crawl_with_adblocker
+from .crossborder import CrossBorderReport, analyze_cross_border
+from .subscriptions import (
+    ModelTrackingRow,
+    SubscriptionTrackingReport,
+    compare_tracking_by_model,
+)
+
+__all__ = [
+    "AdblockComparison",
+    "compare_protection",
+    "crawl_with_adblocker",
+    "CrossBorderReport",
+    "analyze_cross_border",
+    "ModelTrackingRow",
+    "SubscriptionTrackingReport",
+    "compare_tracking_by_model",
+]

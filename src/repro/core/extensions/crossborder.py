@@ -1,0 +1,99 @@
+"""Extension (§10) — cross-border flows of tracking identifiers.
+
+Following Iordanou et al. (IMC'18), which the paper cites as the natural
+follow-up: for a European visitor, how much of the tracking traffic —
+especially requests carrying identifier cookies — terminates on servers
+outside the EU, where GDPR transfer rules apply?
+
+Server locations come from geo-IP over the resolved addresses, exactly
+how a measurement study would do it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ...browser.events import CrawlLog
+from ...net.geo import COUNTRIES, GeoIPDatabase
+from ...net.url import registrable_domain
+from ...webgen.universe import Universe
+from ..cookie_analysis import MIN_ID_LENGTH
+from ..partylabel import PartyLabels
+
+__all__ = ["CrossBorderReport", "analyze_cross_border"]
+
+
+@dataclass
+class CrossBorderReport:
+    """Destination-country breakdown of an EU client's tracking traffic."""
+
+    requests_total: int = 0
+    requests_outside_eu: int = 0
+    #: country code -> third-party requests terminating there.
+    by_country: Dict[str, int] = field(default_factory=dict)
+    #: third-party domains that both hold an ID cookie for the browser and
+    #: are hosted outside the EU (identifier exports).
+    id_exporting_domains: Set[str] = field(default_factory=set)
+    id_cookie_domains: Set[str] = field(default_factory=set)
+
+    @property
+    def outside_eu_fraction(self) -> float:
+        return self.requests_outside_eu / self.requests_total \
+            if self.requests_total else 0.0
+
+    @property
+    def id_export_fraction(self) -> float:
+        """Fraction of ID-cookie holders hosted outside the EU."""
+        if not self.id_cookie_domains:
+            return 0.0
+        return len(self.id_exporting_domains) / len(self.id_cookie_domains)
+
+
+def analyze_cross_border(
+    universe: Universe,
+    log: CrawlLog,
+    labels: PartyLabels,
+) -> CrossBorderReport:
+    """Locate every third-party request's server and flag EU exits."""
+    report = CrossBorderReport()
+    geoip: GeoIPDatabase = universe.geoip
+    location_cache: Dict[str, Optional[str]] = {}
+
+    def country_of_host(fqdn: str) -> Optional[str]:
+        if fqdn not in location_cache:
+            address = universe.dns.try_resolve(fqdn)
+            country = geoip.country_of(address) if address else None
+            location_cache[fqdn] = country.code if country else None
+        return location_cache[fqdn]
+
+    for record in log.requests:
+        if record.failed or record.resource_type == "document":
+            continue
+        page_third = labels.third_party_direct.get(record.page_domain, set())
+        if record.fqdn not in page_third:
+            continue
+        code = country_of_host(record.fqdn)
+        if code is None:
+            continue
+        report.requests_total += 1
+        report.by_country[code] = report.by_country.get(code, 0) + 1
+        if not COUNTRIES[code].in_eu:
+            report.requests_outside_eu += 1
+
+    seen = set()
+    for cookie in log.cookies:
+        key = (cookie.domain, cookie.name)
+        if key in seen:
+            continue
+        seen.add(key)
+        if cookie.session or len(cookie.value) < MIN_ID_LENGTH:
+            continue
+        base = registrable_domain(cookie.domain)
+        if base == registrable_domain(cookie.page_domain):
+            continue
+        report.id_cookie_domains.add(base)
+        code = country_of_host(cookie.set_by_host)
+        if code is not None and not COUNTRIES[code].in_eu:
+            report.id_exporting_domains.add(base)
+    return report

@@ -1,0 +1,242 @@
+"""Sections 5.1.3-5.1.4 / Table 5 — fingerprinting and WebRTC detection.
+
+Three detectors over the instrumented JS-call log:
+
+* the strict Englehardt-Narayanan canvas criteria (which, as in the
+  paper, match **zero** scripts here — the ecosystem's scripts all touch
+  ``save``/``restore`` or skip a criterion);
+* the paper's stricter replacement rule: a script that sets the ``font``
+  property and calls ``measureText`` on the *same text* at least 50 times
+  is counted as canvas fingerprinting;
+* font-enumeration fingerprinting: at least 50 *distinct* fonts probed
+  (the ``online-metrix.net`` pattern);
+* WebRTC usage (potential tracking; §5.1.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..js.api import API, JSCall, calls_by_script
+from ..net.url import URLError, parse_url, registrable_domain
+
+__all__ = [
+    "ScriptClassification",
+    "FingerprintingReport",
+    "passes_englehardt_canvas",
+    "is_canvas_fingerprinting",
+    "is_font_enumeration",
+    "analyze_fingerprinting",
+    "MEASURE_TEXT_THRESHOLD",
+    "FONT_ENUMERATION_THRESHOLD",
+]
+
+MEASURE_TEXT_THRESHOLD = 50
+FONT_ENUMERATION_THRESHOLD = 50
+
+_MIN_CANVAS_SIDE = 16
+_MIN_READ_AREA = 320
+_MIN_TEXT_CHARS = 10
+_EXCLUDED_APIS = (API.CONTEXT_SAVE, API.CONTEXT_RESTORE, API.ADD_EVENT_LISTENER)
+
+
+def passes_englehardt_canvas(calls: List[JSCall]) -> bool:
+    """The strict Englehardt-Narayanan canvas-fingerprinting criteria.
+
+    (1) canvas at least 16px in both dimensions; (2) at least two fill
+    colors or text with more than 10 distinct characters; (3) pixels read
+    back via ``toDataURL`` or a ``getImageData`` covering at least 320px;
+    (4) no ``save``/``restore``/``addEventListener`` on the context.
+    """
+    creates = [c for c in calls if c.api == API.CANVAS_CREATE]
+    if not any(
+        c.arg("width", 0) >= _MIN_CANVAS_SIDE and
+        c.arg("height", 0) >= _MIN_CANVAS_SIDE
+        for c in creates
+    ):
+        return False
+
+    colors = {c.arg("color_index") for c in calls
+              if c.api == API.CONTEXT_FILL_STYLE}
+    texts = [c.arg("text", "") for c in calls if c.api == API.CONTEXT_FILL_TEXT]
+    distinct_chars = max((len(set(text)) for text in texts), default=0)
+    if len(colors) < 2 and distinct_chars <= _MIN_TEXT_CHARS:
+        return False
+
+    reads_back = any(c.api == API.CANVAS_TO_DATA_URL for c in calls) or any(
+        c.api == API.CONTEXT_GET_IMAGE_DATA and c.arg("area", 0) >= _MIN_READ_AREA
+        for c in calls
+    )
+    if not reads_back:
+        return False
+
+    if any(c.api in _EXCLUDED_APIS for c in calls):
+        return False
+    return True
+
+
+def is_canvas_fingerprinting(calls: List[JSCall]) -> bool:
+    """The paper's replacement rule (§5.1.3).
+
+    The script must set the canvas ``font`` property and call
+    ``measureText`` on the same text at least 50 times.
+    """
+    if not any(c.api == API.CONTEXT_SET_FONT for c in calls):
+        return False
+    per_text: Dict[str, int] = {}
+    for call in calls:
+        if call.api == API.CONTEXT_MEASURE_TEXT:
+            text = call.arg("text", "")
+            per_text[text] = per_text.get(text, 0) + 1
+    return max(per_text.values(), default=0) >= MEASURE_TEXT_THRESHOLD
+
+
+def is_font_enumeration(calls: List[JSCall]) -> bool:
+    """Classic font fingerprinting: many distinct fonts probed."""
+    fonts = {c.arg("font_index") for c in calls if c.api == API.CONTEXT_SET_FONT}
+    measures = any(c.api == API.CONTEXT_MEASURE_TEXT for c in calls)
+    return measures and len(fonts) >= FONT_ENUMERATION_THRESHOLD
+
+
+def uses_webrtc(calls: List[JSCall]) -> bool:
+    return any(
+        c.api in (API.RTC_PEER_CONNECTION, API.RTC_ICE_CANDIDATE) for c in calls
+    )
+
+
+@dataclass(frozen=True)
+class ScriptClassification:
+    """Per-script verdicts."""
+
+    script_url: str
+    sites: Tuple[str, ...]
+    englehardt_canvas: bool
+    canvas_fingerprinting: bool
+    font_enumeration: bool
+    webrtc: bool
+    blocklisted: bool
+
+    @property
+    def domain(self) -> str:
+        try:
+            return registrable_domain(parse_url(self.script_url).host)
+        except URLError:
+            return ""
+
+
+@dataclass
+class FingerprintingReport:
+    """Everything §5.1.3-5.1.4 and Table 5 report."""
+
+    scripts: List[ScriptClassification] = field(default_factory=list)
+
+    def _select(self, predicate) -> List[ScriptClassification]:
+        return [script for script in self.scripts if predicate(script)]
+
+    @property
+    def englehardt_scripts(self) -> List[ScriptClassification]:
+        return self._select(lambda s: s.englehardt_canvas)
+
+    @property
+    def canvas_scripts(self) -> List[ScriptClassification]:
+        return self._select(lambda s: s.canvas_fingerprinting)
+
+    @property
+    def font_enumeration_scripts(self) -> List[ScriptClassification]:
+        return self._select(lambda s: s.font_enumeration)
+
+    @property
+    def webrtc_scripts(self) -> List[ScriptClassification]:
+        return self._select(lambda s: s.webrtc)
+
+    @property
+    def canvas_sites(self) -> Set[str]:
+        sites: Set[str] = set()
+        for script in self.canvas_scripts:
+            sites.update(script.sites)
+        return sites
+
+    @property
+    def webrtc_sites(self) -> Set[str]:
+        sites: Set[str] = set()
+        for script in self.webrtc_scripts:
+            sites.update(script.sites)
+        return sites
+
+    def canvas_third_party_scripts(self) -> List[ScriptClassification]:
+        return [
+            script for script in self.canvas_scripts
+            if not any(script.domain == registrable_domain(site)
+                       for site in script.sites)
+        ]
+
+    def canvas_services(self) -> Set[str]:
+        """Third-party registrable domains delivering canvas-FP scripts."""
+        return {s.domain for s in self.canvas_third_party_scripts()}
+
+    def unlisted_canvas_fraction(self) -> float:
+        """Fraction of canvas-FP scripts not matched by the blocklists."""
+        scripts = self.canvas_scripts
+        if not scripts:
+            return 0.0
+        return sum(1 for s in scripts if not s.blocklisted) / len(scripts)
+
+    def per_service_table(
+        self, presence: Callable[[str], int], *, top_n: int = 10
+    ) -> List[Tuple[str, int, int, int]]:
+        """Table 5 rows: (domain, presence sites, canvas scripts, webrtc
+        scripts), ranked by presence.  ``presence`` maps a registrable
+        domain to the number of porn sites embedding it.
+        """
+        domains: Set[str] = set()
+        for script in self.scripts:
+            if script.canvas_fingerprinting or script.webrtc or \
+                    script.font_enumeration:
+                domains.add(script.domain)
+        rows = []
+        for domain in domains:
+            canvas = sum(1 for s in self.canvas_scripts if s.domain == domain)
+            webrtc = sum(1 for s in self.webrtc_scripts if s.domain == domain)
+            rows.append((domain, presence(domain), canvas, webrtc))
+        rows.sort(key=lambda row: -row[1])
+        return rows[:top_n]
+
+
+def analyze_fingerprinting(
+    js_calls: List[JSCall],
+    *,
+    url_blocklisted: Optional[Callable[[str], bool]] = None,
+) -> FingerprintingReport:
+    """Classify every script observed in the crawl."""
+    report = FingerprintingReport()
+    for script_url, calls in calls_by_script(js_calls).items():
+        sites = tuple(sorted({call.document_host for call in calls}))
+        blocklisted = url_blocklisted(script_url) if url_blocklisted else False
+        # A script runs once per page; detectors must judge each execution
+        # context separately (pooling calls across sites would let a
+        # 20-measurement script on three sites fake a 60-measurement one).
+        per_site = [
+            [call for call in calls if call.document_host == site]
+            for site in sites
+        ]
+        report.scripts.append(
+            ScriptClassification(
+                script_url=script_url,
+                sites=sites,
+                englehardt_canvas=any(
+                    passes_englehardt_canvas(site_calls)
+                    for site_calls in per_site
+                ),
+                canvas_fingerprinting=any(
+                    is_canvas_fingerprinting(site_calls)
+                    for site_calls in per_site
+                ),
+                font_enumeration=any(
+                    is_font_enumeration(site_calls) for site_calls in per_site
+                ),
+                webrtc=uses_webrtc(calls),
+                blocklisted=blocklisted,
+            )
+        )
+    return report

@@ -1,0 +1,94 @@
+"""Section 3 / Figure 1 — popularity and rank stability of the corpus.
+
+For every corpus site: best and median Alexa rank throughout 2018 and the
+fraction of days it appeared in the top-1M at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..webgen.rank import RankTrajectory, tier_of_rank
+from ..webgen.universe import Universe
+
+__all__ = ["SitePopularity", "PopularityReport", "analyze_popularity", "tier_counts"]
+
+
+@dataclass(frozen=True)
+class SitePopularity:
+    """One site's Figure 1 data point."""
+
+    domain: str
+    best_rank: int           # 0 when never listed
+    median_rank: int
+    presence_fraction: float
+    always_top_1m: bool
+    always_top_1k: bool
+
+    @property
+    def tier(self) -> int:
+        return tier_of_rank(self.best_rank) if self.best_rank else 3
+
+
+@dataclass
+class PopularityReport:
+    """Aggregate of the corpus's year in the rank lists."""
+
+    sites: List[SitePopularity]
+
+    @property
+    def always_top_1m_count(self) -> int:
+        return sum(1 for site in self.sites if site.always_top_1m)
+
+    @property
+    def always_top_1k_count(self) -> int:
+        return sum(1 for site in self.sites if site.always_top_1k)
+
+    @property
+    def always_top_1m_fraction(self) -> float:
+        return self.always_top_1m_count / len(self.sites) if self.sites else 0.0
+
+    def sorted_by_best(self) -> List[SitePopularity]:
+        """Sites ordered by best rank — Figure 1's x-axis ordering."""
+        listed = [site for site in self.sites if site.best_rank]
+        unlisted = [site for site in self.sites if not site.best_rank]
+        return sorted(listed, key=lambda site: site.best_rank) + unlisted
+
+    def figure1_series(self) -> Tuple[List[int], List[int], List[float]]:
+        """(best ranks, median ranks, presence fractions) in plot order."""
+        ordered = self.sorted_by_best()
+        return (
+            [site.best_rank for site in ordered],
+            [site.median_rank for site in ordered],
+            [site.presence_fraction for site in ordered],
+        )
+
+
+def analyze_popularity(universe: Universe, corpus: Iterable[str]) -> PopularityReport:
+    """Join the corpus against the longitudinal rank dataset."""
+    sites = []
+    for domain in corpus:
+        trajectory: Optional[RankTrajectory] = universe.rank_history(domain)
+        if trajectory is None:
+            sites.append(SitePopularity(domain, 0, 0, 0.0, False, False))
+            continue
+        sites.append(
+            SitePopularity(
+                domain=domain,
+                best_rank=trajectory.observed_best,
+                median_rank=trajectory.observed_median,
+                presence_fraction=trajectory.presence_fraction,
+                always_top_1m=trajectory.always_present,
+                always_top_1k=trajectory.always_top_1k,
+            )
+        )
+    return PopularityReport(sites)
+
+
+def tier_counts(report: PopularityReport) -> Dict[int, int]:
+    """Sites per popularity tier (Table 3 / Table 6 row structure)."""
+    counts: Dict[int, int] = {0: 0, 1: 0, 2: 0, 3: 0}
+    for site in report.sites:
+        counts[site.tier] += 1
+    return counts

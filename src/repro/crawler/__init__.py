@@ -1,0 +1,22 @@
+"""Crawlers: OpenWPM-style measurement, Selenium-style interaction, VPNs."""
+
+from .openwpm import OpenWPMCrawler
+from .selenium import (
+    AgeGateObservation,
+    PolicyObservation,
+    SeleniumCrawler,
+    SiteInspection,
+    find_age_gate_button,
+)
+from .vpn import VantagePointManager, client_for
+
+__all__ = [
+    "OpenWPMCrawler",
+    "AgeGateObservation",
+    "PolicyObservation",
+    "SeleniumCrawler",
+    "SiteInspection",
+    "find_age_gate_button",
+    "VantagePointManager",
+    "client_for",
+]

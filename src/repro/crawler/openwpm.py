@@ -1,0 +1,49 @@
+"""The OpenWPM-style measurement crawler (§3.1).
+
+One browser session is reused for the entire crawl — the paper keeps the
+session alive to capture cookie synchronization — and only landing pages
+are visited (a deliberate lower bound on tracking).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..browser.browser import Browser
+from ..browser.events import CrawlLog
+from ..net.geo import VantagePoint
+from ..webgen.universe import ClientContext, Universe
+from .vpn import client_for
+
+__all__ = ["OpenWPMCrawler"]
+
+
+class OpenWPMCrawler:
+    """Crawls landing pages with full instrumentation from one vantage point."""
+
+    def __init__(
+        self,
+        universe: Universe,
+        vantage: VantagePoint,
+        *,
+        epoch: str = "crawl",
+        keep_html: bool = True,
+    ) -> None:
+        self.universe = universe
+        self.vantage = vantage
+        self.client: ClientContext = client_for(vantage, epoch=epoch)
+        self.keep_html = keep_html
+
+    def crawl(self, domains: Iterable[str],
+              *, log: Optional[CrawlLog] = None) -> CrawlLog:
+        """Visit each domain's landing page once, in order.
+
+        A single cookie jar spans the whole crawl; pass an existing ``log``
+        to append (used when crawling the porn and regular corpora in the
+        same session).
+        """
+        browser = Browser(self.universe, self.client, log=log,
+                          keep_html=self.keep_html)
+        for domain in domains:
+            browser.visit(domain)
+        return browser.log

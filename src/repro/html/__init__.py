@@ -1,0 +1,29 @@
+"""HTML substrate: DOM model, tolerant parser, and query helpers."""
+
+from .dom import Element, TextNode, VOID_TAGS
+from .parser import parse_html
+from .query import (
+    body,
+    elements_with_keyword,
+    find_all,
+    find_first,
+    head,
+    links,
+    meta_tags,
+    scripts,
+)
+
+__all__ = [
+    "Element",
+    "TextNode",
+    "VOID_TAGS",
+    "parse_html",
+    "body",
+    "elements_with_keyword",
+    "find_all",
+    "find_first",
+    "head",
+    "links",
+    "meta_tags",
+    "scripts",
+]

@@ -1,0 +1,138 @@
+"""A small DOM: element tree with attributes, text, and traversal.
+
+The interaction crawler (Section 3.1) inspects parent and grandparent
+elements of keyword matches to confirm age gates, and the banner detector
+(Section 7.1) looks for floating elements — both need a real tree with
+upward links and style inspection, provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Element", "TextNode", "Node", "VOID_TAGS"]
+
+#: Tags that never have children or a closing tag.
+VOID_TAGS = frozenset(
+    {"area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta",
+     "source", "track", "wbr"}
+)
+
+
+@dataclass
+class TextNode:
+    """A run of character data inside an element."""
+
+    text: str
+    parent: Optional["Element"] = field(default=None, repr=False)
+
+
+class Element:
+    """An HTML element with attributes, children, and a parent link."""
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: Optional[Dict[str, str]] = None,
+        parent: Optional["Element"] = None,
+    ) -> None:
+        self.tag = tag.lower()
+        self.attrs: Dict[str, str] = dict(attrs or {})
+        self.parent = parent
+        self.children: List[Node] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def append(self, node: "Node") -> "Node":
+        node.parent = self
+        self.children.append(node)
+        return node
+
+    def append_child(self, tag: str, attrs: Optional[Dict[str, str]] = None) -> "Element":
+        child = Element(tag, attrs, parent=self)
+        self.children.append(child)
+        return child
+
+    def append_text(self, text: str) -> TextNode:
+        node = TextNode(text, parent=self)
+        self.children.append(node)
+        return node
+
+    # -- attributes -----------------------------------------------------------
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        return self.attrs.get(name.lower(), default)
+
+    @property
+    def id(self) -> Optional[str]:
+        return self.attrs.get("id")
+
+    @property
+    def classes(self) -> List[str]:
+        return self.attrs.get("class", "").split()
+
+    @property
+    def style(self) -> Dict[str, str]:
+        """Parse the inline ``style`` attribute into a property map."""
+        style: Dict[str, str] = {}
+        for declaration in self.attrs.get("style", "").split(";"):
+            if ":" not in declaration:
+                continue
+            prop, _, value = declaration.partition(":")
+            style[prop.strip().lower()] = value.strip().lower()
+        return style
+
+    @property
+    def is_floating(self) -> bool:
+        """Heuristic for overlay/banner elements: fixed/absolute positioning."""
+        position = self.style.get("position", "")
+        return position in ("fixed", "absolute", "sticky")
+
+    # -- traversal --------------------------------------------------------------
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first pre-order iteration over elements (self included)."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter()
+
+    def iter_text_nodes(self) -> Iterator[TextNode]:
+        for child in self.children:
+            if isinstance(child, TextNode):
+                yield child
+            elif isinstance(child, Element):
+                yield from child.iter_text_nodes()
+
+    def text(self, *, separator: str = " ") -> str:
+        """All descendant text joined with ``separator``."""
+        parts = [node.text.strip() for node in self.iter_text_nodes()]
+        return separator.join(part for part in parts if part)
+
+    def own_text(self) -> str:
+        """Text directly inside this element (children excluded)."""
+        parts = [
+            child.text.strip() for child in self.children if isinstance(child, TextNode)
+        ]
+        return " ".join(part for part in parts if part)
+
+    def ancestors(self) -> Iterator["Element"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    @property
+    def grandparent(self) -> Optional["Element"]:
+        return self.parent.parent if self.parent is not None else None
+
+    def depth(self) -> int:
+        return sum(1 for _ in self.ancestors())
+
+    def __repr__(self) -> str:
+        ident = f"#{self.id}" if self.id else ""
+        return f"<Element {self.tag}{ident} children={len(self.children)}>"
+
+
+Node = object  # union of Element and TextNode; kept loose for simplicity

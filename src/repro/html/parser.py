@@ -1,0 +1,75 @@
+"""A tolerant HTML parser producing :class:`repro.html.dom.Element` trees.
+
+Built on the standard library's :class:`html.parser.HTMLParser`, with the
+error recovery real crawlers need: unclosed tags are closed implicitly,
+stray end tags are ignored, and void elements never push onto the stack.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+from typing import Dict, List, Optional, Tuple
+
+from .dom import Element, VOID_TAGS
+
+__all__ = ["parse_html"]
+
+#: Elements whose open instance is implicitly closed by a sibling of the
+#: same tag (enough recovery for the generator's output and common HTML).
+_IMPLICIT_CLOSE = frozenset({"li", "p", "option", "tr", "td", "th"})
+
+
+class _TreeBuilder(HTMLParser):
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.root = Element("html")
+        self._stack: List[Element] = [self.root]
+        self._saw_html = False
+
+    @property
+    def _top(self) -> Element:
+        return self._stack[-1]
+
+    def handle_starttag(self, tag: str, attrs: List[Tuple[str, Optional[str]]]) -> None:
+        tag = tag.lower()
+        attr_map: Dict[str, str] = {k.lower(): (v or "") for k, v in attrs}
+        if tag == "html" and not self._saw_html:
+            # Merge attributes into the implicit root instead of nesting.
+            self._saw_html = True
+            self.root.attrs.update(attr_map)
+            return
+        if tag in _IMPLICIT_CLOSE and self._top.tag == tag:
+            self._stack.pop()
+        element = self._top.append_child(tag, attr_map)
+        if tag not in VOID_TAGS:
+            self._stack.append(element)
+
+    def handle_startendtag(self, tag: str, attrs: List[Tuple[str, Optional[str]]]) -> None:
+        attr_map = {k.lower(): (v or "") for k, v in attrs}
+        self._top.append_child(tag.lower(), attr_map)
+
+    def handle_endtag(self, tag: str) -> None:
+        tag = tag.lower()
+        if tag in VOID_TAGS:
+            return
+        # Close up to the nearest matching open tag; ignore stray end tags.
+        for index in range(len(self._stack) - 1, 0, -1):
+            if self._stack[index].tag == tag:
+                del self._stack[index:]
+                return
+
+    def handle_data(self, data: str) -> None:
+        if data.strip():
+            self._top.append_text(data)
+
+
+def parse_html(markup: str) -> Element:
+    """Parse ``markup`` and return the root element.
+
+    Never raises on malformed input; recovery mirrors browser behavior
+    closely enough for the study's DOM inspections.
+    """
+    builder = _TreeBuilder()
+    builder.feed(markup)
+    builder.close()
+    return builder.root

@@ -1,0 +1,19 @@
+"""Simulated JavaScript surface: instrumented APIs and script behaviors."""
+
+from .api import API, JSCall, calls_by_script
+from .runtime import (
+    CanvasBehavior,
+    FontProbeBehavior,
+    ScriptBehavior,
+    execute_script,
+)
+
+__all__ = [
+    "API",
+    "JSCall",
+    "calls_by_script",
+    "CanvasBehavior",
+    "FontProbeBehavior",
+    "ScriptBehavior",
+    "execute_script",
+]

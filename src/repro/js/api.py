@@ -1,0 +1,58 @@
+"""Instrumented JavaScript API surface.
+
+OpenWPM instruments the JavaScript APIs trackers abuse (HTML Canvas,
+``CanvasRenderingContext2D``, WebRTC, ...) and logs every call with its
+arguments.  :class:`JSCall` is our equivalent of one such log row; the
+fingerprinting heuristics in :mod:`repro.core.fingerprinting` consume only
+these rows, exactly as the paper's pipeline consumes OpenWPM's logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+__all__ = ["API", "JSCall", "calls_by_script"]
+
+
+class API:
+    """Symbolic names for the instrumented JavaScript APIs."""
+
+    CANVAS_CREATE = "HTMLCanvasElement.create"
+    CANVAS_TO_DATA_URL = "HTMLCanvasElement.toDataURL"
+    CONTEXT_FILL_TEXT = "CanvasRenderingContext2D.fillText"
+    CONTEXT_FILL_STYLE = "CanvasRenderingContext2D.fillStyle"
+    CONTEXT_SET_FONT = "CanvasRenderingContext2D.font"
+    CONTEXT_MEASURE_TEXT = "CanvasRenderingContext2D.measureText"
+    CONTEXT_GET_IMAGE_DATA = "CanvasRenderingContext2D.getImageData"
+    CONTEXT_SAVE = "CanvasRenderingContext2D.save"
+    CONTEXT_RESTORE = "CanvasRenderingContext2D.restore"
+    ADD_EVENT_LISTENER = "HTMLCanvasElement.addEventListener"
+    RTC_PEER_CONNECTION = "RTCPeerConnection.createDataChannel"
+    RTC_ICE_CANDIDATE = "RTCPeerConnection.onicecandidate"
+    DOCUMENT_COOKIE_SET = "Document.cookie.set"
+    DOCUMENT_COOKIE_GET = "Document.cookie.get"
+    NAVIGATOR_USER_AGENT = "Navigator.userAgent"
+    SCREEN_RESOLUTION = "Screen.resolution"
+    WORKER_CREATE = "Worker.create"
+
+
+@dataclass(frozen=True)
+class JSCall:
+    """One instrumented API invocation observed during a page load."""
+
+    script_url: str      # URL the executing script was fetched from
+    document_host: str   # FQDN of the page in which the call happened
+    api: str             # one of the :class:`API` names
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def arg(self, name: str, default: Any = None) -> Any:
+        return self.args.get(name, default)
+
+
+def calls_by_script(calls: Iterable[JSCall]) -> Dict[str, List[JSCall]]:
+    """Group call rows by the script URL that issued them."""
+    grouped: Dict[str, List[JSCall]] = {}
+    for call in calls:
+        grouped.setdefault(call.script_url, []).append(call)
+    return grouped

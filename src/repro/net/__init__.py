@@ -1,0 +1,55 @@
+"""Networking substrate: URLs, HTTP, cookies, TLS, DNS, and geo-IP."""
+
+from .cookies import Cookie, CookieJar, parse_set_cookie
+from .dns import DNSError, DNSResolver, NXDomain
+from .geo import (
+    COUNTRIES,
+    DEFAULT_VANTAGE_POINTS,
+    Country,
+    GeoIPDatabase,
+    IPAllocator,
+    VantagePoint,
+)
+from .http import Headers, Request, Response
+from .whois import PRIVACY_REDACTED, WhoisRecord, WhoisRegistry
+from .tls import Certificate, certificate_matches_host, share_organization
+from .url import (
+    PUBLIC_SUFFIXES,
+    URL,
+    URLError,
+    fqdn_of,
+    is_subdomain_of,
+    parse_url,
+    registrable_domain,
+)
+
+__all__ = [
+    "Cookie",
+    "CookieJar",
+    "parse_set_cookie",
+    "DNSError",
+    "DNSResolver",
+    "NXDomain",
+    "COUNTRIES",
+    "DEFAULT_VANTAGE_POINTS",
+    "Country",
+    "GeoIPDatabase",
+    "IPAllocator",
+    "VantagePoint",
+    "Headers",
+    "Request",
+    "Response",
+    "PRIVACY_REDACTED",
+    "WhoisRecord",
+    "WhoisRegistry",
+    "Certificate",
+    "certificate_matches_host",
+    "share_organization",
+    "PUBLIC_SUFFIXES",
+    "URL",
+    "URLError",
+    "fqdn_of",
+    "is_subdomain_of",
+    "parse_url",
+    "registrable_domain",
+]

@@ -1,0 +1,41 @@
+"""Rendering of the paper's tables and figures as text / CSV."""
+
+from .figures import (
+    bar,
+    figure1_ascii,
+    figure1_csv,
+    figure3_ascii,
+    figure3_csv,
+    figure4_ascii,
+    figure4_edges_csv,
+)
+from .tables import (
+    format_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8,
+)
+
+__all__ = [
+    "bar",
+    "figure1_ascii",
+    "figure1_csv",
+    "figure3_ascii",
+    "figure3_csv",
+    "figure4_ascii",
+    "figure4_edges_csv",
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "render_table6",
+    "render_table7",
+    "render_table8",
+]

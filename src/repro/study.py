@@ -1,0 +1,469 @@
+"""End-to-end orchestration of the whole study (Figure 2's workflow).
+
+:class:`Study` wires the pipeline together — corpus compilation, the
+OpenWPM-style crawl (single session, landing pages only), the Selenium
+interaction pass, and every Section 4-7 analysis — with caching so that
+examples and benchmarks can pull any intermediate without recomputation.
+
+Typical use::
+
+    from repro import Study, UniverseConfig
+    study = Study.build(UniverseConfig(scale=0.1))
+    table2 = study.table2()
+    stats = study.cookie_stats()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .browser.events import CrawlLog
+from .core.ats import ATSClassifier, ATSResult
+from .core.attribution import AttributionResult, attribute_organizations
+from .core.business import BusinessReport, classify_business_models
+from .core.compliance.age_verification import (
+    AgeVerificationReport,
+    study_age_verification,
+)
+from .core.compliance.banners import BannerReport, analyze_banners
+from .core.compliance.policies import (
+    CollectedPolicy,
+    PolicyReport,
+    analyze_policies,
+    collect_policies,
+)
+from .core.cookie_analysis import CookieStats, analyze_cookies
+from .core.cookie_sync import SyncReport, detect_cookie_sync
+from .core.corpus import CandidateSet, SanitizedCorpus, build_corpus
+from .core.ecosystem import (
+    OrganizationPrevalence,
+    Table2,
+    Table3,
+    build_figure3,
+    build_table2,
+    build_table3,
+)
+from .core.fingerprinting import FingerprintingReport, analyze_fingerprinting
+from .core.geodiff import CountryObservation, GeoReport, analyze_geography
+from .core.https_analysis import HTTPSReport, analyze_https
+from .core.malware import MalwareReport, analyze_malware
+from .core.owners import OwnerReport, discover_owners
+from .core.partylabel import PartyLabels, label_parties
+from .core.popularity import PopularityReport, analyze_popularity
+from .crawler.openwpm import OpenWPMCrawler
+from .crawler.selenium import SeleniumCrawler, SiteInspection
+from .crawler.vpn import VantagePointManager
+from .net.url import registrable_domain
+from .webgen.builder import build_universe
+from .webgen.config import UniverseConfig
+from .webgen.universe import Universe
+
+__all__ = ["Study"]
+
+
+class Study:
+    """The full measurement study over one synthetic universe."""
+
+    def __init__(
+        self,
+        universe: Universe,
+        *,
+        vantage_points: Optional[VantagePointManager] = None,
+        home_country: str = "ES",
+    ) -> None:
+        self.universe = universe
+        self.vantage_points = vantage_points or VantagePointManager()
+        self.home_country = home_country
+        self._cache: Dict[str, object] = {}
+
+    @classmethod
+    def build(cls, config: Optional[UniverseConfig] = None) -> "Study":
+        """Construct the universe and wrap it in a study."""
+        return cls(build_universe(config or UniverseConfig()))
+
+    def _memo(self, key: str, factory):
+        if key not in self._cache:
+            self._cache[key] = factory()
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    # Section 3: corpus
+    # ------------------------------------------------------------------
+
+    def corpus(self) -> Tuple[CandidateSet, SanitizedCorpus]:
+        return self._memo(
+            "corpus",
+            lambda: build_corpus(self.universe,
+                                 self.vantage_points.point(self.home_country)),
+        )
+
+    def corpus_domains(self) -> List[str]:
+        return self.corpus()[1].corpus
+
+    def popularity(self) -> PopularityReport:
+        return self._memo(
+            "popularity",
+            lambda: analyze_popularity(self.universe, self.corpus_domains()),
+        )
+
+    def top_sites(self, count: int = 50) -> List[str]:
+        """The most popular *crawlable* sites by best 2018 rank (§7.2)."""
+        report = self.crawled_popularity()
+        ordered = [site.domain for site in report.sorted_by_best()]
+        return ordered[:count]
+
+    # ------------------------------------------------------------------
+    # Crawls
+    # ------------------------------------------------------------------
+
+    def porn_log(self, country: Optional[str] = None) -> CrawlLog:
+        country = country or self.home_country
+        keep_html = country == self.home_country
+
+        def crawl() -> CrawlLog:
+            crawler = OpenWPMCrawler(
+                self.universe, self.vantage_points.point(country),
+                keep_html=keep_html,
+            )
+            return crawler.crawl(self.corpus_domains())
+
+        return self._memo(f"porn_log:{country}", crawl)
+
+    def regular_log(self) -> CrawlLog:
+        def crawl() -> CrawlLog:
+            crawler = OpenWPMCrawler(
+                self.universe, self.vantage_points.point(self.home_country),
+                keep_html=False,
+            )
+            return crawler.crawl(self.universe.reference_regular_corpus())
+
+        return self._memo("regular_log", crawl)
+
+    def inspections(self) -> List[SiteInspection]:
+        """Interaction-crawler pass over the whole corpus (home country)."""
+
+        def inspect() -> List[SiteInspection]:
+            crawler = SeleniumCrawler(
+                self.universe, self.vantage_points.point(self.home_country)
+            )
+            return [crawler.inspect(domain) for domain in self.corpus_domains()]
+
+        return self._memo("inspections", inspect)
+
+    # ------------------------------------------------------------------
+    # Section 4.2: labeling, classification, attribution
+    # ------------------------------------------------------------------
+
+    def porn_labels(self, country: Optional[str] = None) -> PartyLabels:
+        country = country or self.home_country
+        return self._memo(
+            f"porn_labels:{country}",
+            lambda: label_parties(self.porn_log(country),
+                                  cert_lookup=self.universe.certificate_for),
+        )
+
+    def regular_labels(self) -> PartyLabels:
+        return self._memo(
+            "regular_labels",
+            lambda: label_parties(self.regular_log(),
+                                  cert_lookup=self.universe.certificate_for),
+        )
+
+    def ats_classifier(self) -> ATSClassifier:
+        return self._memo(
+            "ats_classifier",
+            lambda: ATSClassifier.from_texts(self.universe.easylist_text,
+                                             self.universe.easyprivacy_text),
+        )
+
+    def porn_ats(self, country: Optional[str] = None) -> ATSResult:
+        country = country or self.home_country
+        return self._memo(
+            f"porn_ats:{country}",
+            lambda: self.ats_classifier().classify_log(
+                self.porn_log(country),
+                third_party_fqdns=self.porn_labels(country).all_third_party_fqdns,
+            ),
+        )
+
+    def regular_ats(self) -> ATSResult:
+        return self._memo(
+            "regular_ats",
+            lambda: self.ats_classifier().classify_log(
+                self.regular_log(),
+                third_party_fqdns=self.regular_labels().all_third_party_fqdns,
+            ),
+        )
+
+    def porn_attribution(self) -> AttributionResult:
+        return self._memo(
+            "porn_attribution",
+            lambda: attribute_organizations(
+                self.porn_labels().all_third_party_fqdns,
+                disconnect=self.universe.disconnect,
+                cert_lookup=self.universe.certificate_for,
+                whois_lookup=self.universe.whois_organization,
+            ),
+        )
+
+    def regular_attribution(self) -> AttributionResult:
+        return self._memo(
+            "regular_attribution",
+            lambda: attribute_organizations(
+                self.regular_labels().all_third_party_fqdns,
+                disconnect=self.universe.disconnect,
+                cert_lookup=self.universe.certificate_for,
+                whois_lookup=self.universe.whois_organization,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Tables and figures
+    # ------------------------------------------------------------------
+
+    def table2(self) -> Table2:
+        return self._memo(
+            "table2",
+            lambda: build_table2(
+                porn_labels=self.porn_labels(),
+                regular_labels=self.regular_labels(),
+                porn_ats=self.porn_ats(),
+                regular_ats=self.regular_ats(),
+                porn_visited=len(self.porn_log().successful_visits()),
+                regular_visited=len(self.regular_log().successful_visits()),
+            ),
+        )
+
+    def table3(self) -> Table3:
+        return self._memo(
+            "table3",
+            lambda: build_table3(self.porn_labels(), self.crawled_popularity()),
+        )
+
+    def crawled_popularity(self) -> PopularityReport:
+        """Popularity restricted to successfully crawled sites."""
+        def build() -> PopularityReport:
+            crawled = {v.site_domain for v in self.porn_log().successful_visits()}
+            full = self.popularity()
+            return PopularityReport(
+                [site for site in full.sites if site.domain in crawled]
+            )
+
+        return self._memo("crawled_popularity", build)
+
+    def figure3(self, top_n: int = 19) -> List[OrganizationPrevalence]:
+        return self._memo(
+            f"figure3:{top_n}",
+            lambda: build_figure3(
+                porn_labels=self.porn_labels(),
+                regular_labels=self.regular_labels(),
+                porn_attribution=self.porn_attribution(),
+                regular_attribution=self.regular_attribution(),
+                porn_visited=len(self.porn_log().successful_visits()),
+                regular_visited=len(self.regular_log().successful_visits()),
+                top_n=top_n,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Section 5: privacy risks
+    # ------------------------------------------------------------------
+
+    def cookie_stats(self) -> CookieStats:
+        def build() -> CookieStats:
+            regular_bases = {
+                registrable_domain(f)
+                for f in self.regular_labels().all_third_party_fqdns
+            }
+            ats_bases = {
+                registrable_domain(f) for f in self.porn_ats().ats_fqdns
+            } | self.porn_ats().ats_domains_relaxed
+            return analyze_cookies(
+                self.porn_log(),
+                ats_domains=ats_bases,
+                regular_web_domains=regular_bases,
+            )
+
+        return self._memo("cookie_stats", build)
+
+    def cookie_sync(self) -> SyncReport:
+        return self._memo(
+            "cookie_sync", lambda: detect_cookie_sync(self.porn_log())
+        )
+
+    def fingerprinting(self) -> FingerprintingReport:
+        def build() -> FingerprintingReport:
+            classifier = self.ats_classifier()
+            return analyze_fingerprinting(
+                self.porn_log().js_calls,
+                url_blocklisted=lambda url: classifier.matches_url(url),
+            )
+
+        return self._memo("fingerprinting", build)
+
+    def https_report(self) -> HTTPSReport:
+        return self._memo(
+            "https",
+            lambda: analyze_https(self.porn_log(), self.porn_labels(),
+                                  self.crawled_popularity()),
+        )
+
+    def malware(self, country: Optional[str] = None) -> MalwareReport:
+        country = country or self.home_country
+        return self._memo(
+            f"malware:{country}",
+            lambda: analyze_malware(
+                self.porn_log(country),
+                self.porn_labels(country),
+                lambda domain: self.universe.scanner_hits(domain, country),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Section 6: geography
+    # ------------------------------------------------------------------
+
+    def geography(
+        self, countries: Optional[Sequence[str]] = None
+    ) -> GeoReport:
+        countries = tuple(countries or self.vantage_points.country_codes)
+
+        def build() -> GeoReport:
+            observations = {}
+            for country in countries:
+                observations[country] = CountryObservation(
+                    log=self.porn_log(country),
+                    labels=self.porn_labels(country),
+                    ats=self.porn_ats(country),
+                    malware=self.malware(country),
+                )
+            return analyze_geography(
+                observations,
+                regular_web_fqdns=self.regular_labels().all_third_party_fqdns,
+            )
+
+        return self._memo(f"geo:{countries}", build)
+
+    # ------------------------------------------------------------------
+    # Section 7: compliance
+    # ------------------------------------------------------------------
+
+    def banners(self, country: Optional[str] = None) -> BannerReport:
+        country = country or self.home_country
+
+        def build() -> BannerReport:
+            if country == self.home_country:
+                log = self.porn_log()
+            else:
+                crawler = OpenWPMCrawler(
+                    self.universe, self.vantage_points.point(country),
+                    keep_html=True,
+                )
+                log = crawler.crawl(self.corpus_domains())
+            return analyze_banners(log, corpus_size=len(self.corpus_domains()))
+
+        return self._memo(f"banners:{country}", build)
+
+    def age_verification(
+        self,
+        *,
+        top_n: int = 50,
+        countries: Sequence[str] = ("US", "UK", "ES", "RU"),
+    ) -> AgeVerificationReport:
+        return self._memo(
+            f"agegate:{top_n}:{tuple(countries)}",
+            lambda: study_age_verification(
+                self.universe,
+                self.top_sites(top_n),
+                countries=countries,
+                vantage_points=self.vantage_points,
+            ),
+        )
+
+    def policies(self) -> PolicyReport:
+        def build() -> PolicyReport:
+            collected = [
+                CollectedPolicy(i.domain, i.policy.text, i.policy.status)
+                for i in self.inspections()
+                if i.reachable and i.policy.link_found
+            ]
+            observed = {
+                page: {registrable_domain(f) for f in fqdns}
+                for page, fqdns in self.porn_labels().third_party_direct.items()
+            }
+            return analyze_policies(
+                collected,
+                corpus_size=len(self.corpus_domains()),
+                observed_third_parties=observed,
+            )
+
+        return self._memo("policies", build)
+
+    def business_models(self) -> BusinessReport:
+        return self._memo(
+            "business", lambda: classify_business_models(self.inspections())
+        )
+
+    def owners(self) -> OwnerReport:
+        def build() -> OwnerReport:
+            policy_texts = {
+                i.domain: i.policy.text
+                for i in self.inspections()
+                if i.reachable and i.policy.link_found and i.policy.fetched_ok
+            }
+            landing_html = {
+                v.site_domain: v.html
+                for v in self.porn_log().successful_visits()
+                if v.html
+            }
+            return discover_owners(
+                policy_texts=policy_texts,
+                landing_html=landing_html,
+                cert_lookup=self.universe.certificate_for,
+            )
+
+        return self._memo("owners", build)
+
+    # ------------------------------------------------------------------
+    # Section 10: future-work extensions
+    # ------------------------------------------------------------------
+
+    def adblock_comparison(self):
+        """§10 extension: crawl with an EasyList blocker, compare tracking."""
+        from .core.extensions.adblock_sim import compare_protection
+
+        def build():
+            return compare_protection(
+                self.universe,
+                self.vantage_points.point(self.home_country),
+                self.corpus_domains(),
+                baseline_log=self.porn_log(),
+                classifier=self.ats_classifier(),
+            )
+
+        return self._memo("adblock", build)
+
+    def subscription_tracking(self):
+        """§10 extension: tracking by monetization model."""
+        from .core.extensions.subscriptions import compare_tracking_by_model
+
+        return self._memo(
+            "subscription_tracking",
+            lambda: compare_tracking_by_model(
+                self.business_models(), self.porn_labels(), self.porn_log()
+            ),
+        )
+
+    def cross_border(self):
+        """§10 extension: identifier flows leaving the EU."""
+        from .core.extensions.crossborder import analyze_cross_border
+
+        return self._memo(
+            "cross_border",
+            lambda: analyze_cross_border(self.universe, self.porn_log(),
+                                         self.porn_labels()),
+        )
+
+    def best_rank(self, domain: str) -> int:
+        trajectory = self.universe.rank_history(domain)
+        return trajectory.observed_best if trajectory else 0

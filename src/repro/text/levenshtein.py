@@ -1,0 +1,61 @@
+"""Levenshtein edit distance and normalized domain similarity.
+
+Section 4.2 labels an embedded service as first party when its FQDN is
+within similarity 0.7 of the host website's FQDN, grouping e.g.
+``doublepimp.com`` with ``doublepimpssl.com`` while keeping
+``doubleclick.net`` separate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["levenshtein_distance", "similarity", "domains_similar"]
+
+
+def levenshtein_distance(a: Sequence, b: Sequence) -> int:
+    """Classic dynamic-programming edit distance (insert/delete/substitute)."""
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i]
+        for j, item_b in enumerate(b, start=1):
+            cost = 0 if item_a == item_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,        # deletion
+                    current[j - 1] + 1,     # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def similarity(a: str, b: str) -> float:
+    """Normalized similarity in [0, 1]: 1 - distance / max(len)."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def domains_similar(a: str, b: str, *, threshold: float = 0.7) -> bool:
+    """The paper's same-entity test for two FQDNs.
+
+    The comparison strips a leading ``www.`` and compares the remainder
+    case-insensitively; a similarity strictly above ``threshold`` counts as
+    the same entity.
+    """
+    a = a.lower()
+    b = b.lower()
+    if a.startswith("www."):
+        a = a[4:]
+    if b.startswith("www."):
+        b = b[4:]
+    if a == b:
+        return True
+    return similarity(a, b) > threshold

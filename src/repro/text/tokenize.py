@@ -1,0 +1,25 @@
+"""Tokenization for the TF-IDF analyses (Sections 4.1 and 7.3)."""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Dict, List
+
+__all__ = ["tokenize", "term_counts"]
+
+_WORD_RE = re.compile(r"[a-z0-9][a-z0-9'-]*", re.IGNORECASE)
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into lower-case word tokens.
+
+    Hyphenated and apostrophized words stay intact (``opt-out``,
+    ``user's``) since privacy policies rely on them heavily.
+    """
+    return [match.group(0).lower() for match in _WORD_RE.finditer(text)]
+
+
+def term_counts(text: str) -> Dict[str, int]:
+    """Term-frequency map for ``text``."""
+    return dict(Counter(tokenize(text)))

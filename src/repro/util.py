@@ -1,0 +1,48 @@
+"""Shared deterministic utilities.
+
+Everything in the universe must be reproducible from a single seed, and
+server-side values (cookie identifiers, minted subdomains) must be stable
+functions of their context — not of call order.  ``stable_hash`` and
+``rng_for`` provide order-independent determinism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+import numpy as np
+
+__all__ = ["stable_hash", "rng_for", "token_for"]
+
+_B36_ALPHABET = "0123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def stable_hash(*parts: Union[str, int]) -> int:
+    """A 64-bit hash of the parts, stable across processes and runs.
+
+    Python's built-in ``hash`` is randomized per process for strings; this
+    one is not, which is what makes server-side minting reproducible.
+    """
+    digest = hashlib.sha256("\x1f".join(str(part) for part in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rng_for(seed: int, *keys: Union[str, int]) -> np.random.Generator:
+    """A generator deterministically derived from ``seed`` and context keys."""
+    return np.random.default_rng([seed & 0xFFFFFFFF, stable_hash(*keys) & 0xFFFFFFFF])
+
+
+def token_for(length: int, *parts: Union[str, int]) -> str:
+    """A deterministic base-36 token of ``length`` characters."""
+    if length <= 0:
+        return ""
+    chars = []
+    counter = 0
+    while len(chars) < length:
+        value = stable_hash(counter, *parts)
+        while value and len(chars) < length:
+            value, digit = divmod(value, 36)
+            chars.append(_B36_ALPHABET[digit])
+        counter += 1
+    return "".join(chars[:length])

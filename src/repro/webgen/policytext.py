@@ -1,0 +1,320 @@
+"""Privacy-policy text generation.
+
+Section 7.3 measures policies three ways: presence (16% of sites), GDPR
+mentions (20% of policies), and pairwise TF-IDF similarity (76% of pairs
+above 0.5 — template reuse and shared ownership).  Section 4.1 exploits
+near-identical policies (similarity 1.0) to discover owner clusters.
+
+Policies are therefore built from a small number of genuinely different
+templates.  One industry-standard template dominates (owner-independent
+boilerplate), so that most policy pairs are co-related, while distinct
+templates stay lexically far apart.  Sites of the same operator always use
+the same template with the same company substitutions, which makes their
+policies nearly identical — exactly the signal the owner-clustering
+analysis needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PolicySpec", "PolicyGenerator", "TEMPLATE_COUNT", "DOMINANT_TEMPLATE"]
+
+TEMPLATE_COUNT = 8
+#: Index of the boilerplate template used by the majority of sites.
+DOMINANT_TEMPLATE = 0
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Ground truth about one site's privacy policy."""
+
+    template_id: int
+    target_length: int
+    mentions_gdpr: bool
+    discloses_cookies: bool
+    discloses_data_types: bool
+    discloses_third_parties: bool
+    #: Enumerates the complete embedded third-party list (one site does).
+    full_third_party_list: bool = False
+    #: The policy link returns an HTTP error page (the 44 false positives).
+    link_broken: bool = False
+
+
+_COMMON_INTRO = (
+    "This privacy statement explains how {company} collects, stores, uses and "
+    "discloses information about visitors of {site}. By accessing or using the "
+    "website you acknowledge that you have read and understood this statement. "
+)
+
+# -- Template section pools -------------------------------------------------------
+# Each template is a tuple of paragraph factories with distinct vocabulary so
+# inter-template TF-IDF similarity stays low while intra-template similarity
+# stays near 1.0.
+
+_TEMPLATE_SECTIONS: Tuple[Tuple[str, ...], ...] = (
+    # 0: the dominant adult-industry boilerplate.
+    (
+        "Information we collect. When you visit {site} we automatically receive "
+        "your internet protocol address, browser type, operating system, referring "
+        "pages and the dates and times of your visits. This information is stored "
+        "in our server logs and is used to operate and improve the website.",
+        "Cookies. {site} uses cookies and similar technologies to remember your "
+        "preferences, measure audience and deliver advertising. A cookie is a small "
+        "text file stored by your browser. You may disable cookies in your browser "
+        "settings although parts of the website may stop functioning.",
+        "Advertising partners. We work with advertising networks and analytics "
+        "providers that may set their own cookies and collect information about "
+        "your visits to this and other websites in order to provide advertisements "
+        "about goods and services of interest to you.",
+        "Age requirement. The website is intended solely for adults. We do not "
+        "knowingly collect information from persons under the age of eighteen. If "
+        "you believe a minor has provided us information please contact us and we "
+        "will delete it.",
+        "Security. We take commercially reasonable measures to protect the "
+        "information we collect from loss, misuse and unauthorized access, "
+        "disclosure, alteration and destruction.",
+        "Changes. We may update this statement from time to time. Continued use of "
+        "the website after changes constitutes acceptance of the revised statement.",
+        "Contact. Questions about this statement may be directed to {email}.",
+    ),
+    # 1: corporate legalese variant.
+    (
+        "Scope of processing. {company} acts as the data controller in respect of "
+        "personal data processed through {site}. Categories of data processed "
+        "include connection identifiers, device characteristics and usage records.",
+        "Legal basis. Processing is carried out on the basis of legitimate "
+        "interest, performance of contract, or consent where required by "
+        "applicable law. Consent may be withdrawn at any moment without affecting "
+        "prior processing.",
+        "Retention. Personal data are retained no longer than necessary for the "
+        "purposes described herein, after which they are erased or irreversibly "
+        "anonymized pursuant to our retention schedule.",
+        "Recipients. Data may be communicated to processors bound by written "
+        "agreement, to affiliated undertakings, and to competent authorities where "
+        "a statutory obligation exists.",
+        "Rights of the data subject. You are entitled to request access, "
+        "rectification, erasure, restriction of processing, portability, and to "
+        "object to processing. Complaints may be lodged with a supervisory "
+        "authority.",
+        "Representative. Inquiries shall be addressed to the compliance office of "
+        "{company} at {email}.",
+    ),
+    # 2: casual tube-site variant.
+    (
+        "Hey there. Your privacy matters to the team behind {site}, so here is the "
+        "short version of what happens with your info while you enjoy our videos.",
+        "What we grab automatically: your IP, what device and browser you are on, "
+        "which pages you watched and how long you stayed. That is it, nothing "
+        "creepy, just stats that keep the lights on.",
+        "Cookies, yum. We drop a few cookies so the player remembers your volume, "
+        "quality settings and whether you already clicked the entry warning. Some "
+        "ad buddies drop their own cookies too.",
+        "Ads keep {site} free. Our sponsors may use tracking pixels to figure out "
+        "which banners work. You can block them with any ad blocker, we will not "
+        "hold a grudge.",
+        "Grown-ups only. You must be over 18 (or 21 in some places) to hang out "
+        "here. If you are not, close the tab now.",
+        "Ping us at {email} if anything worries you.",
+    ),
+    # 3: subscription/paysite variant.
+    (
+        "Membership data. When you purchase a subscription to {site} our billing "
+        "agents collect your name, billing address, payment card details and email "
+        "for the purpose of completing the transaction and managing your account.",
+        "Billing discretion. Charges appear under a discreet descriptor. Billing "
+        "records are kept by our payment processors in accordance with card "
+        "scheme rules and are not shared with content partners.",
+        "Account activity. We log sign-ins, downloads and streaming activity to "
+        "prevent fraud, enforce concurrent session limits and recommend content.",
+        "Marketing. With your permission we send newsletters about new scenes and "
+        "special offers. Every message contains an unsubscribe link.",
+        "Cancellation. Upon cancellation your viewing history is deleted within "
+        "ninety days; invoices are retained as required by tax law.",
+        "Support is available around the clock at {email}.",
+    ),
+    # 4: network/affiliate variant.
+    (
+        "About the network. {site} is operated by {company} as part of a network "
+        "of affiliated adult entertainment properties sharing common "
+        "infrastructure and this privacy notice.",
+        "Shared identifiers. A common visitor identifier may be recognized across "
+        "properties of the network to cap advertisement frequency and to combine "
+        "audience measurement.",
+        "Traffic partners. Clicks arriving from or leaving to partner websites are "
+        "recorded together with the partner identifier for revenue accounting "
+        "purposes.",
+        "Statistics. Aggregate, non-identifying statistics may be published or "
+        "shared with prospective advertisers.",
+        "Reach the network privacy desk at {email}.",
+    ),
+    # 5: minimal webmaster variant.
+    (
+        "{site} keeps minimal records. The webserver writs standard access logs "
+        "including IP addresses which rotate after fourteen days.",
+        "Embedded players and banners originate from external companies; their "
+        "data handling is governed by their own terms which we do not control.",
+        "No accounts, no newsletters, no sale of information. Webmaster email: "
+        "{email}.",
+    ),
+    # 6: cam-site variant.
+    (
+        "Live interaction. {site} offers live video chat. Messages, tips and "
+        "private show records are stored to operate the service, pay performers "
+        "and resolve disputes.",
+        "Performer protection. Recording, capturing or redistributing streams is "
+        "forbidden and technically watermarked; infringement reports are "
+        "investigated using connection records.",
+        "Token purchases. Payment instruments are handled exclusively by licensed "
+        "payment institutions. {company} receives only a confirmation of payment.",
+        "Broadcast consent. Performers grant explicit written consent and proof of "
+        "age before any broadcast, in compliance with record keeping statutes.",
+        "Trust and safety can be reached at {email}.",
+    ),
+    # 7: machine-translated variant (long-tail sites).
+    (
+        "Dear user, the respect of your private sphere is for {site} a thing of "
+        "the most big importance. Hereunder we describe the treatment of the "
+        "informations.",
+        "The informations of navigation, as the address IP and the pages seen, "
+        "are registered automatic in the journals of the server for the good "
+        "functioning of the site.",
+        "The witnesses (cookies) serve to remember your preferences and to "
+        "propose publicities adapted. You can to refuse them in the parameters "
+        "of your navigator.",
+        "The site is reserved to the persons major of 18 years. Thank you of "
+        "your comprehension. Contact: {email}.",
+    ),
+)
+
+_GDPR_SECTION = (
+    "European users. In accordance with the General Data Protection Regulation "
+    "(GDPR, Regulation (EU) 2016/679) the processing of special categories of "
+    "personal data, including data concerning sex life or sexual orientation, is "
+    "carried out only with explicit consent. You may exercise your rights of "
+    "access, rectification and erasure under Articles 15 to 17 of the GDPR by "
+    "contacting our data protection officer."
+)
+
+_COOKIE_DISCLOSURE = (
+    "Detail of cookies. First party cookies store session identifiers and player "
+    "preferences. Third party cookies are set by the advertising and analytics "
+    "companies integrated in the website and may contain unique identifiers used "
+    "to recognize your browser over time."
+)
+
+_DATA_TYPES_DISCLOSURE = (
+    "Categories of data. We process connection data (IP address, user agent), "
+    "usage data (pages viewed, viewing duration), and approximate location "
+    "derived from the IP address. We do not request your name or civil identity "
+    "for simply browsing the website."
+)
+
+_THIRD_PARTY_DISCLOSURE = (
+    "Third party services. The website integrates advertising networks, audience "
+    "measurement tools and content delivery networks operated by external "
+    "companies which may process your data as independent controllers."
+)
+
+_PADDING_PARAGRAPHS = (
+    "Jurisdictional addendum. Depending on the territory from which you access "
+    "the website, additional disclosures required by local statute are deemed "
+    "incorporated into this document by reference.",
+    "Glossary. 'Browser' means the software application used to retrieve and "
+    "present resources; 'identifier' means any value that renders a device "
+    "distinguishable; 'processing' means any operation performed upon data.",
+    "Archival note. Prior versions of this statement are available upon written "
+    "request and remain applicable to the periods during which they were in "
+    "force.",
+    "Interpretation. Should any clause of this statement be held invalid, the "
+    "remaining clauses shall continue in full force and effect.",
+    "Accessibility. A large print version of this statement can be requested "
+    "from the contact address indicated above.",
+)
+
+
+class PolicyGenerator:
+    """Renders policy text from a :class:`PolicySpec`."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def sample_spec(
+        self,
+        *,
+        operator_template: Optional[int] = None,
+        heavy_tracker: bool = False,
+    ) -> PolicySpec:
+        """Sample a policy spec.
+
+        ``operator_template`` pins the template (same-operator sites share
+        one); ``heavy_tracker`` biases disclosure completeness to hit the
+        §7.3 figure that 72% of the top-25 tracking sites disclose their
+        practices.
+        """
+        if operator_template is not None:
+            template_id = operator_template
+        elif self._rng.random() < 0.74:
+            template_id = DOMINANT_TEMPLATE
+        else:
+            template_id = int(self._rng.integers(1, TEMPLATE_COUNT))
+
+        # Log-normal length distribution calibrated to mean ~17k characters
+        # with a heavy tail reaching ~240k.
+        length = int(np.exp(self._rng.normal(9.35, 0.75)))
+        length = max(1_088, min(length, 243_649))
+
+        discloses = self._rng.random() < (0.72 if heavy_tracker else 0.45)
+        return PolicySpec(
+            template_id=template_id,
+            target_length=length,
+            mentions_gdpr=self._rng.random() < 0.20,
+            discloses_cookies=discloses,
+            discloses_data_types=discloses and self._rng.random() < 0.9,
+            discloses_third_parties=discloses and self._rng.random() < 0.85,
+            full_third_party_list=False,
+            link_broken=False,
+        )
+
+    def render(
+        self,
+        spec: PolicySpec,
+        *,
+        site_domain: str,
+        company: Optional[str],
+        third_parties: Sequence[str] = (),
+    ) -> str:
+        """Render the policy text for a site."""
+        company_name = company or f"the operator of {site_domain}"
+        substitutions = {
+            "site": site_domain,
+            "company": company_name,
+            "email": f"privacy@{site_domain}",
+        }
+        paragraphs: List[str] = [_COMMON_INTRO.format(**substitutions)]
+        for section in _TEMPLATE_SECTIONS[spec.template_id]:
+            paragraphs.append(section.format(**substitutions))
+        if spec.discloses_cookies:
+            paragraphs.append(_COOKIE_DISCLOSURE)
+        if spec.discloses_data_types:
+            paragraphs.append(_DATA_TYPES_DISCLOSURE)
+        if spec.discloses_third_parties:
+            paragraphs.append(_THIRD_PARTY_DISCLOSURE)
+        if spec.full_third_party_list and third_parties:
+            listing = ", ".join(sorted(third_parties))
+            paragraphs.append(
+                f"Complete list of integrated third party services: {listing}."
+            )
+        if spec.mentions_gdpr:
+            paragraphs.append(_GDPR_SECTION)
+
+        text = "\n\n".join(paragraphs)
+        # Pad deterministically to approximate the target length.
+        pad_index = 0
+        while len(text) < spec.target_length:
+            text += "\n\n" + _PADDING_PARAGRAPHS[pad_index % len(_PADDING_PARAGRAPHS)]
+            pad_index += 1
+        return text

@@ -1,0 +1,163 @@
+"""Longitudinal Alexa-style rank trajectories (Figure 1 substrate).
+
+The paper tracks every corpus site across the Alexa top-1M throughout 2018
+and reports, per site, the best rank, the median rank, and the percentage
+of days the site was indexed at all.  16% of porn sites were present every
+day; 16 sites never left the top-1K.
+
+A site's daily rank is modeled as ``best * exp(sigma * h)`` with ``h``
+half-normal: the year's minimum is then (almost exactly) the configured
+best rank, volatility is a single per-site parameter, and days where the
+rank exceeds 1,000,000 are "absent from the published list" — exactly the
+censoring a top-1M crawl suffers from (Scheitle et al., IMC'18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RankTrajectory", "RankModel", "TOP_LIST_SIZE", "tier_of_rank"]
+
+TOP_LIST_SIZE = 1_000_000
+
+#: Tier boundaries by best rank (Table 3 / Table 6 intervals).
+_TIER_BOUNDS = (1_000, 10_000, 100_000)
+
+
+def tier_of_rank(best_rank: int) -> int:
+    """Map a best rank to its popularity tier index (0..3)."""
+    for tier, bound in enumerate(_TIER_BOUNDS):
+        if best_rank <= bound:
+            return tier
+    return 3
+
+
+@dataclass(frozen=True)
+class RankTrajectory:
+    """Summary of one site's year in the rank list."""
+
+    best_rank: int            # true minimum over the year
+    sigma: float              # volatility parameter
+    observed_best: int        # min rank over days present in the top-1M
+    observed_median: int      # median over present days (0 if never present)
+    observed_worst: int       # max rank over present days (0 if never present)
+    days_present: int
+    days_total: int
+
+    @property
+    def presence_fraction(self) -> float:
+        return self.days_present / self.days_total if self.days_total else 0.0
+
+    @property
+    def always_present(self) -> bool:
+        return self.days_present == self.days_total
+
+    @property
+    def always_top_1k(self) -> bool:
+        """Never left the top-1,000 all year (Fig. 1: just 16 sites)."""
+        return self.always_present and 0 < self.observed_worst <= 1_000
+
+    @property
+    def ever_present(self) -> bool:
+        return self.days_present > 0
+
+    @property
+    def tier(self) -> int:
+        """Popularity tier by observed best rank (3 when never observed)."""
+        if not self.ever_present:
+            return 3
+        return tier_of_rank(self.observed_best)
+
+
+class RankModel:
+    """Samples rank trajectories per popularity tier.
+
+    Besides rank volatility, the model includes *list dropout*: days where
+    a site is missing from the published top-1M regardless of its true
+    traffic — the churn Scheitle et al. measured in commercial top lists.
+    ``DROPOUT_FREE`` is the per-tier probability that a site never suffers
+    dropout; it calibrates Fig. 1's "always present" population (16%).
+    """
+
+    #: (best-rank low, best-rank high, sigma low, sigma high) per tier.
+    TIER_PARAMS: Tuple[Tuple[int, int, float, float], ...] = (
+        (30, 1_000, 0.50, 1.00),
+        (1_001, 10_000, 0.30, 1.00),
+        (10_001, 100_000, 0.30, 1.20),
+        (100_001, 4_000_000, 0.40, 1.60),
+    )
+
+    #: Probability of zero list-dropout days, per tier.
+    DROPOUT_FREE: Tuple[float, ...] = (0.95, 0.85, 0.17, 0.02)
+
+    def __init__(self, rng: np.random.Generator, *, days: int = 365) -> None:
+        if days < 1:
+            raise ValueError("days must be positive")
+        self._rng = rng
+        self.days = days
+
+    def _sample_best(self, low: int, high: int) -> int:
+        """Log-uniform best rank within a tier's range."""
+        log_rank = self._rng.uniform(np.log(low), np.log(high + 1))
+        return int(np.exp(log_rank))
+
+    def daily_series(self, best_rank: int, sigma: float) -> np.ndarray:
+        """A full year of daily ranks (values above 1M mean "not listed")."""
+        half_normal = np.abs(self._rng.standard_normal(self.days))
+        series = best_rank * np.exp(sigma * half_normal)
+        return np.maximum(series.astype(np.int64), 1)
+
+    def sample_dropout(self, tier: int) -> float:
+        """The fraction of days this site is missing from the list."""
+        if self._rng.random() < self.DROPOUT_FREE[tier]:
+            return 0.0
+        return float(self._rng.uniform(0.01, 0.6))
+
+    def sample(self, tier: int, *, best_rank: Optional[int] = None) -> RankTrajectory:
+        """Sample one trajectory for a site in ``tier``.
+
+        ``best_rank`` can be pinned (used for Table 1's flagship sites with
+        published ranks); it must fall inside the tier's range.
+        """
+        low, high, sigma_low, sigma_high = self.TIER_PARAMS[tier]
+        if best_rank is None:
+            best_rank = self._sample_best(low, high)
+        sigma = float(self._rng.uniform(sigma_low, sigma_high))
+        series = self.daily_series(best_rank, sigma)
+        dropout = self.sample_dropout(tier)
+        if dropout > 0.0:
+            absent = self._rng.random(self.days) < dropout
+            # Ensure the best day survives so the site keeps its tier.
+            absent[int(np.argmin(series))] = False
+            series = series.copy()
+            series[absent] = TOP_LIST_SIZE + 1
+        return summarize_series(series, best_rank=best_rank, sigma=sigma)
+
+
+def summarize_series(
+    series: np.ndarray, *, best_rank: Optional[int] = None, sigma: float = 0.0
+) -> RankTrajectory:
+    """Reduce a daily rank series to a :class:`RankTrajectory`."""
+    present = series <= TOP_LIST_SIZE
+    days_present = int(present.sum())
+    if days_present:
+        visible = series[present]
+        observed_best = int(visible.min())
+        observed_median = int(np.median(visible))
+        observed_worst = int(visible.max())
+    else:
+        observed_best = 0
+        observed_median = 0
+        observed_worst = 0
+    return RankTrajectory(
+        best_rank=int(best_rank if best_rank is not None else series.min()),
+        sigma=sigma,
+        observed_best=observed_best,
+        observed_median=observed_median,
+        observed_worst=observed_worst,
+        days_present=days_present,
+        days_total=int(series.size),
+    )

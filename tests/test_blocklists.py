@@ -1,0 +1,128 @@
+"""Unit tests for the EasyList engine and the Disconnect entity list."""
+
+import pytest
+
+from repro.blocklists.disconnect import DisconnectEntry, DisconnectList
+from repro.blocklists.easylist import FilterList, MatchContext, parse_rule
+from repro.net.url import parse_url
+
+
+class TestRuleParsing:
+    def test_comment_lines_ignored(self):
+        assert parse_rule("! a comment") is None
+        assert parse_rule("[Adblock Plus 2.0]") is None
+        assert parse_rule("") is None
+
+    def test_element_hiding_ignored(self):
+        assert parse_rule("example.com##.ad-banner") is None
+        assert parse_rule("example.com#@#.ok") is None
+
+    def test_domain_anchor(self):
+        rule = parse_rule("||ads.example.com^")
+        assert rule.anchor_domain == "ads.example.com"
+        assert not rule.is_exception
+
+    def test_exception_rule(self):
+        rule = parse_rule("@@||good.com^")
+        assert rule.is_exception
+
+    def test_options_parsed(self):
+        rule = parse_rule("||t.com^$third-party,script")
+        assert rule.third_party is True
+        assert rule.resource_types == {"script"}
+
+    def test_domain_option(self):
+        rule = parse_rule("/banner/*$domain=a.com|~b.a.com")
+        assert rule.include_domains == {"a.com"}
+        assert rule.exclude_domains == {"b.a.com"}
+
+    def test_unknown_options_tolerated(self):
+        assert parse_rule("||t.com^$websocket,ping") is not None
+
+
+class TestMatching:
+    def test_domain_rule_matches_subdomains(self):
+        rules = FilterList.from_text("||exoclick.com^")
+        assert rules.matches("https://ads.exoclick.com/banner.js")
+        assert rules.matches("https://exoclick.com/x")
+        assert not rules.matches("https://notexoclick.com/x")
+
+    def test_path_rule_is_url_specific(self):
+        # The paper's example: bbc.co.uk is clean, bbc.co.uk/analytics is not.
+        rules = FilterList.from_text("||bbc.co.uk/analytics")
+        assert rules.matches("https://bbc.co.uk/analytics/beacon.gif")
+        assert not rules.matches("https://bbc.co.uk/news")
+
+    def test_third_party_option(self):
+        rules = FilterList.from_text("||tracker.com^$third-party")
+        third = MatchContext(first_party_host="site.com")
+        first = MatchContext(first_party_host="www.tracker.com")
+        assert rules.matches("https://tracker.com/t.js", third)
+        assert not rules.matches("https://tracker.com/t.js", first)
+
+    def test_exception_overrides_block(self):
+        rules = FilterList.from_text(
+            "||cdn.com^\n@@||cdn.com/jquery.js"
+        )
+        assert rules.matches("https://cdn.com/tracker.js")
+        assert not rules.matches("https://cdn.com/jquery.js")
+
+    def test_wildcard_pattern(self):
+        rules = FilterList.from_text("/ad/banner-*.js")
+        assert rules.matches("https://x.com/ad/banner-abc.js")
+        assert not rules.matches("https://x.com/ad/image.png")
+
+    def test_separator_caret(self):
+        rules = FilterList.from_text("||t.com/px^")
+        assert rules.matches("https://t.com/px?cb=1")
+        assert rules.matches("https://t.com/px")
+        assert not rules.matches("https://t.com/pxx")
+
+    def test_resource_type_option(self):
+        rules = FilterList.from_text("||t.com^$image")
+        image = MatchContext(resource_type="image")
+        script = MatchContext(resource_type="script")
+        assert rules.matches("https://t.com/a.gif", image)
+        assert not rules.matches("https://t.com/a.js", script)
+
+    def test_matches_domain_relaxed(self):
+        rules = FilterList.from_text("||sub.tracker.com/only/this/path")
+        # Full-URL match fails for other paths...
+        assert not rules.matches("https://sub.tracker.com/other")
+        # ...but the relaxed base-domain method flags the domain.
+        assert rules.matches_domain("sub.tracker.com")
+        assert rules.matches_domain("tracker.com")
+
+    def test_blocked_domains_listing(self):
+        rules = FilterList.from_text("||a.com^\n||b.net^$script\n/generic/*")
+        assert rules.blocked_domains() == {"a.com", "b.net"}
+
+    def test_start_anchor(self):
+        rules = FilterList.from_text("|https://exact.com/start")
+        assert rules.matches("https://exact.com/start/page")
+        assert not rules.matches("https://other.com/?u=https://exact.com/start")
+
+
+class TestDisconnect:
+    def build(self):
+        return DisconnectList([
+            DisconnectEntry("Oracle", "analytics",
+                            ("addthis.com", "bluekai.com")),
+            DisconnectEntry("ExoClick", "advertising", ("exoclick.com",)),
+        ])
+
+    def test_lookup_by_subdomain(self):
+        entities = self.build()
+        assert entities.organization_of("s7.addthis.com") == "Oracle"
+
+    def test_unknown_domain(self):
+        assert self.build().organization_of("unknown.com") is None
+
+    def test_category(self):
+        assert self.build().category_of("bluekai.com") == "analytics"
+
+    def test_organizations_set(self):
+        assert self.build().organizations == {"Oracle", "ExoClick"}
+
+    def test_len_counts_entries(self):
+        assert len(self.build()) == 2

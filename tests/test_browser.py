@@ -1,0 +1,139 @@
+"""Integration tests for the instrumented browser."""
+
+import pytest
+
+from repro.browser.browser import Browser
+from repro.net.url import parse_url, registrable_domain
+from repro.webgen.universe import ClientContext
+
+ES = ClientContext("ES", "31.0.0.1")
+
+
+@pytest.fixture()
+def browser(universe):
+    return Browser(universe, ES)
+
+
+def cookie_site(universe):
+    return next(
+        d for d, s in sorted(universe.porn_sites.items())
+        if s.responsive and not s.crawl_flaky and s.first_party_cookies > 0
+        and s.embedded_services
+    )
+
+
+class TestVisit:
+    def test_successful_visit_records_document(self, universe, browser):
+        domain = cookie_site(universe)
+        visit = browser.visit(domain)
+        assert visit.success
+        assert visit.html
+        documents = [r for r in browser.log.requests
+                     if r.resource_type == "document"]
+        assert any(r.fqdn == domain for r in documents)
+
+    def test_https_first_then_downgrade(self, universe):
+        domain = next(
+            d for d, s in sorted(universe.porn_sites.items())
+            if s.responsive and not s.crawl_flaky and not s.https
+        )
+        browser = Browser(universe, ES)
+        visit = browser.visit(domain)
+        assert visit.success
+        assert not visit.https
+        schemes = [r.scheme for r in browser.log.requests
+                   if r.resource_type == "document" and r.fqdn == domain]
+        assert schemes[0] == "https"   # attempted first
+        assert schemes[-1] == "http"   # succeeded after downgrade
+
+    def test_unreachable_site(self, universe, browser):
+        dead = next(d for d, s in universe.porn_sites.items()
+                    if not s.responsive)
+        visit = browser.visit(dead)
+        assert not visit.success
+        assert visit.failure_reason
+
+    def test_subresources_fetched(self, universe, browser):
+        domain = cookie_site(universe)
+        browser.visit(domain)
+        third_party = [
+            r for r in browser.log.requests
+            if registrable_domain(r.fqdn) != registrable_domain(domain)
+        ]
+        assert third_party
+
+    def test_referrer_set_on_subresources(self, universe, browser):
+        domain = cookie_site(universe)
+        visit = browser.visit(domain)
+        for record in browser.log.requests:
+            if record.resource_type in ("script", "image") and \
+                    record.page_domain == domain and record.initiator is None:
+                assert record.referrer == visit.url
+
+    def test_cookies_recorded_and_jar_populated(self, universe, browser):
+        domain = cookie_site(universe)
+        browser.visit(domain)
+        assert browser.log.cookies
+        assert len(browser.jar) > 0
+        first_party = [c for c in browser.log.cookies if c.domain == domain]
+        assert first_party
+
+    def test_sequence_numbers_strictly_increasing(self, universe, browser):
+        browser.visit(cookie_site(universe))
+        sequences = [r.seq for r in browser.log.requests] + \
+            [c.seq for c in browser.log.cookies]
+        assert len(sequences) == len(set(sequences))
+
+    def test_session_persists_across_visits(self, universe):
+        browser = Browser(universe, ES)
+        sites = sorted(
+            d for d, s in universe.porn_sites.items()
+            if s.responsive and not s.crawl_flaky
+        )[:5]
+        for site in sites:
+            browser.visit(site)
+        # Cookies from earlier sites are still present later (single session).
+        assert len(browser.jar) > 0
+        assert len({c.page_domain for c in browser.log.cookies}) >= 1
+
+    def test_js_calls_recorded(self, universe):
+        browser = Browser(universe, ES)
+        sites = sorted(
+            d for d, s in universe.porn_sites.items()
+            if s.responsive and not s.crawl_flaky
+        )[:20]
+        for site in sites:
+            browser.visit(site)
+        assert browser.log.js_calls
+
+    def test_keep_html_false_drops_body(self, universe):
+        browser = Browser(universe, ES, keep_html=False)
+        visit = browser.visit(cookie_site(universe))
+        assert visit.success
+        assert visit.html == ""
+
+
+class TestRedirects:
+    def test_sync_redirect_followed_and_relabeled(self, universe):
+        """Redirect hops carry the redirector as referrer (inclusion chain)."""
+        browser = Browser(universe, ES)
+        response = browser.fetch(
+            parse_url("https://exosrv.com/px?cb=1"),
+            page_domain="syntheticpage.com",
+            resource_type="image",
+            referrer="https://syntheticpage.com/",
+        )
+        assert response is not None
+        hops = [r for r in browser.log.requests if "/sync" in r.url]
+        for hop in hops:
+            assert hop.referrer != "https://syntheticpage.com/"
+
+    def test_redirect_chain_bounded(self, universe):
+        browser = Browser(universe, ES)
+        browser.fetch(
+            parse_url("https://exosrv.com/px?cb=1"),
+            page_domain="deepchain.com",
+            resource_type="image",
+            referrer="https://deepchain.com/",
+        )
+        assert len(browser.log.requests) <= 6

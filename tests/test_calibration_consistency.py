@@ -1,0 +1,116 @@
+"""Internal consistency of the calibration table and repo documentation."""
+
+import pathlib
+
+import pytest
+
+from repro.webgen.config import CalibrationTargets, TIER_NAMES, UniverseConfig
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def targets():
+    return CalibrationTargets()
+
+
+class TestTargetArithmetic:
+    def test_candidate_sources_sum(self, targets):
+        assert (targets.from_aggregators + targets.from_alexa_category
+                + targets.from_keyword_search) == targets.candidates_total
+
+    def test_sanitization_accounting(self, targets):
+        assert targets.candidates_total - targets.false_positives == \
+            targets.sanitized_corpus
+        assert (targets.unresponsive_candidates
+                + targets.non_porn_keyword_matches) == targets.false_positives
+
+    def test_tier_sites_sum_to_crawlable(self, targets):
+        assert sum(targets.tier_site_counts) == targets.crawlable_corpus
+
+    def test_owner_clusters(self, targets):
+        assert len(targets.owner_clusters) == 24
+        assert sum(count for _, count, _, _ in targets.owner_clusters) == 286
+        # The paper's fifteen published rows head the list.
+        assert targets.owner_clusters[0][0] == "Gamma Entertainment"
+        assert targets.owner_clusters[1][:2] == ("MindGeek", 54)
+
+    def test_banner_fractions_sum_to_totals(self, targets):
+        assert sum(targets.banner_fractions_eu.values()) == \
+            pytest.approx(0.0441, abs=1e-4)
+        assert sum(targets.banner_fractions_us.values()) == \
+            pytest.approx(0.0376, abs=1e-4)
+
+    def test_per_country_rows_cover_study_countries(self, targets):
+        assert [row[0] for row in targets.per_country_fqdns] == \
+            ["US", "UK", "ES", "RU", "IN", "SG"]
+        assert sum(row[4] for row in targets.per_country_fqdns) == 168
+
+    def test_tier_fraction_tuples_length(self, targets):
+        assert len(targets.tier_https_site_fraction) == len(TIER_NAMES) == 4
+        assert len(targets.tier_third_party_totals) == 4
+        assert len(targets.tier_third_party_unique) == 4
+
+    def test_unique_below_totals_per_tier(self, targets):
+        for unique, total in zip(targets.tier_third_party_unique,
+                                 targets.tier_third_party_totals):
+            assert unique < total
+
+    def test_cookie_hierarchy(self, targets):
+        assert targets.third_party_id_cookies < targets.id_cookies
+        assert targets.id_cookies < targets.total_cookies
+        assert targets.ats_intersection < min(targets.porn_ats_fqdns,
+                                              targets.regular_ats_fqdns)
+
+
+class TestScaling:
+    def test_scaled_minimum(self):
+        config = UniverseConfig(scale=0.001)
+        assert config.scaled(10) == 1
+        assert config.scaled(10, minimum=0) == 0
+        assert config.scaled(10_000) == 10
+
+    def test_full_scale_identity(self):
+        config = UniverseConfig(scale=1.0)
+        assert config.scaled(6_843) == 6_843
+
+
+class TestDocumentation:
+    def test_required_documents_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+            assert (REPO_ROOT / name).is_file(), name
+
+    def test_design_confirms_paper_identity(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        assert "Tales from the Porn" in text
+        assert "IMC 2019" in text
+        # The per-experiment index maps every table and figure.
+        for marker in ("Table 1", "Table 8", "Fig. 1", "Fig. 4"):
+            assert marker in text or marker.replace(". ", ".") in text
+
+    def test_experiments_covers_every_artifact(self):
+        text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+        for section in ("Table 2", "Table 3", "Table 4", "Table 5",
+                        "Table 6", "Table 7", "Table 8", "Figure 1",
+                        "Figure 3", "Figure 4"):
+            assert section in text, section
+
+    def test_examples_present(self):
+        examples = REPO_ROOT / "examples"
+        names = {path.name for path in examples.glob("*.py")}
+        assert "quickstart.py" in names
+        assert len(names) >= 3
+
+    def test_every_public_module_has_docstring(self):
+        import importlib
+
+        modules = [
+            "repro", "repro.net", "repro.html", "repro.js", "repro.text",
+            "repro.blocklists", "repro.webgen", "repro.browser",
+            "repro.crawler", "repro.core", "repro.core.compliance",
+            "repro.core.extensions", "repro.reporting", "repro.study",
+            "repro.util",
+        ]
+        for name in modules:
+            module = importlib.import_module(name)
+            assert module.__doc__, f"{name} lacks a docstring"

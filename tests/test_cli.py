@@ -1,0 +1,48 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["corpus"])
+        assert args.scale == 0.1
+        assert args.seed == 20191021
+
+    def test_crawl_options(self):
+        args = build_parser().parse_args(
+            ["crawl", "--country", "RU", "--sites", "5", "--scale", "0.02"]
+        )
+        assert args.country == "RU"
+        assert args.sites == 5
+
+    def test_invalid_country_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crawl", "--country", "BR"])
+
+
+class TestCommands:
+    def test_corpus_command(self, capsys):
+        assert main(["corpus", "--scale", "0.02", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitized corpus:" in out
+        assert "always in the top-1M" in out
+
+    def test_crawl_command(self, capsys):
+        assert main(["crawl", "--scale", "0.02", "--seed", "3",
+                     "--sites", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "/8 sites from ES" in out
+        assert "third-party domains" in out
+
+    def test_study_command(self, capsys):
+        assert main(["study", "--scale", "0.02", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 2", "Table 4", "Figure 4", "Table 8"):
+            assert marker in out

@@ -1,0 +1,239 @@
+"""Tests for §5.1.1-§5.1.2: cookie analysis and cookie syncing."""
+
+import base64
+
+import pytest
+
+from repro.browser.events import CookieRecord, CrawlLog, RequestRecord
+from repro.core.cookie_analysis import analyze_cookies, decode_cookie_value
+from repro.core.cookie_sync import detect_cookie_sync
+from repro.net.url import parse_url
+
+
+def make_cookie(page, domain, name, value, *, session=False, seq=0):
+    return CookieRecord(
+        page_domain=page, set_by_host=domain, domain=domain, name=name,
+        value=value, session=session, secure=True, over_https=True, seq=seq,
+    )
+
+
+def make_request(url, page, *, seq=0):
+    parsed = parse_url(url)
+    return RequestRecord(
+        url=url, fqdn=parsed.host, scheme=parsed.scheme, page_domain=page,
+        resource_type="image", initiator=None, referrer=f"https://{page}/",
+        seq=seq, status=200,
+    )
+
+
+class TestDecoding:
+    def test_plain_value_kept(self):
+        assert "abc123" in decode_cookie_value("abc123")
+
+    def test_url_decoding(self):
+        decoded = decode_cookie_value("lat%3D40.4%26lon%3D-3.7")
+        assert any("lat=40.4" in text for text in decoded)
+
+    def test_base64_decoding(self):
+        encoded = base64.b64encode(b"uid123:31.0.0.1").decode()
+        decoded = decode_cookie_value(encoded)
+        assert any("31.0.0.1" in text for text in decoded)
+
+    def test_base64_without_padding(self):
+        encoded = base64.b64encode(b"uid:10.1.2.3").decode().rstrip("=")
+        decoded = decode_cookie_value(encoded)
+        assert any("10.1.2.3" in text for text in decoded)
+
+    def test_binary_garbage_survives(self):
+        # Non-decodable values must not raise.
+        assert decode_cookie_value("!!!???") == ["!!!???"]
+
+
+class TestCookieStatsUnit:
+    def build_log(self):
+        log = CrawlLog(client_ip="31.0.0.1")
+        log.visits = []
+        from repro.browser.events import PageVisit
+
+        log.visits.append(PageVisit("site.com", "https://site.com/", True))
+        log.cookies = [
+            make_cookie("site.com", "site.com", "uid", "a" * 24, seq=1),
+            make_cookie("site.com", "site.com", "sess", "b" * 20,
+                        session=True, seq=2),
+            make_cookie("site.com", "site.com", "tiny", "x", seq=3),
+            make_cookie("site.com", "tracker.com", "tid", "c" * 24, seq=4),
+            make_cookie("site.com", "tracker.com", "tid", "c" * 24, seq=5),  # dup
+            make_cookie(
+                "site.com", "exo.com", "uid",
+                base64.b64encode(b"zz:31.0.0.1").decode().rstrip("="), seq=6,
+            ),
+            make_cookie("site.com", "geo.com", "loc",
+                        "lat%3D40.4%26lon%3D-3.7%26isp%3DAS64000", seq=7),
+            make_cookie("site.com", "big.com", "blob", "d" * 1500, seq=8),
+        ]
+        return log
+
+    def test_dedup_and_totals(self):
+        stats = analyze_cookies(self.build_log())
+        assert stats.total_cookies == 7  # duplicate collapsed
+
+    def test_session_and_short_filtered_from_id(self):
+        stats = analyze_cookies(self.build_log())
+        # uid, tid, exo, geo, blob are ID cookies; sess/tiny are not.
+        assert stats.id_cookies == 5
+
+    def test_first_vs_third_party_split(self):
+        stats = analyze_cookies(self.build_log())
+        assert stats.first_party_id_cookies == 1
+        assert stats.third_party_id_cookies == 4
+
+    def test_ip_detection(self):
+        stats = analyze_cookies(self.build_log())
+        assert stats.ip_cookies == 1
+        assert "exo.com" in stats.ip_cookie_domains
+
+    def test_geo_detection_with_isp(self):
+        stats = analyze_cookies(self.build_log())
+        assert stats.geo_cookies == 1
+        assert stats.geo_cookies_with_isp == 1
+        assert stats.geo_cookie_sites == {"site.com"}
+
+    def test_huge_cookie_detection(self):
+        stats = analyze_cookies(self.build_log())
+        assert stats.huge_id_cookies == 1
+
+    def test_top_domains_ranked_by_sites(self):
+        stats = analyze_cookies(self.build_log(), top_n=2)
+        assert len(stats.top_domains) == 2
+        assert stats.top_domains[0].site_count >= stats.top_domains[1].site_count
+
+
+class TestCookieStatsIntegration:
+    def test_headline_fractions(self, study):
+        stats = study.cookie_stats()
+        assert 0.85 <= stats.sites_with_cookies_fraction <= 1.0
+        assert 0.6 <= stats.sites_with_third_party_cookies_fraction <= 0.85
+
+    def test_third_party_id_cookies_majority(self, study):
+        stats = study.cookie_stats()
+        assert stats.third_party_id_cookies > 0
+        assert stats.id_cookies >= stats.third_party_id_cookies
+
+    def test_exoclick_family_dominates_ip_cookies(self, study):
+        stats = study.cookie_stats()
+        if stats.ip_cookies == 0:
+            pytest.skip("no IP cookies at this scale")
+        exo = sum(count for domain, count in stats.ip_cookie_domains.items()
+                  if domain.startswith("ex"))
+        assert exo / stats.ip_cookies > 0.8
+
+    def test_popular_cookies_span_sites(self, study):
+        stats = study.cookie_stats()
+        coverage = stats.popular_cookie_site_coverage(100)
+        assert 0.0 < coverage <= 1.0
+
+
+class TestCookieSyncUnit:
+    def test_value_reuse_detected(self):
+        log = CrawlLog()
+        log.cookies = [make_cookie("p.com", "origin.com", "uid",
+                                   "val12345678", seq=1)]
+        log.requests = [
+            make_request("https://dest.com/sync?uid=val12345678", "p.com",
+                         seq=2)
+        ]
+        report = detect_cookie_sync(log)
+        assert report.pair_counts == {("origin.com", "dest.com"): 1}
+        assert report.sites == {"p.com"}
+
+    def test_request_before_cookie_not_counted(self):
+        log = CrawlLog()
+        log.requests = [
+            make_request("https://dest.com/sync?uid=val12345678", "p.com",
+                         seq=1)
+        ]
+        log.cookies = [make_cookie("p.com", "origin.com", "uid",
+                                   "val12345678", seq=2)]
+        assert detect_cookie_sync(log).pair_count == 0
+
+    def test_same_domain_not_a_sync(self):
+        log = CrawlLog()
+        log.cookies = [make_cookie("p.com", "origin.com", "uid",
+                                   "val12345678", seq=1)]
+        log.requests = [
+            make_request("https://cdn.origin.com/px?uid=val12345678",
+                         "p.com", seq=2)
+        ]
+        assert detect_cookie_sync(log).pair_count == 0
+
+    def test_short_values_ignored(self):
+        log = CrawlLog()
+        log.cookies = [make_cookie("p.com", "origin.com", "uid", "abc", seq=1)]
+        log.requests = [make_request("https://dest.com/s?uid=abc", "p.com",
+                                     seq=2)]
+        assert detect_cookie_sync(log).pair_count == 0
+
+    def test_no_delimiter_splitting(self):
+        # The value embedded with extra text must NOT match (lower bound).
+        log = CrawlLog()
+        log.cookies = [make_cookie("p.com", "origin.com", "uid",
+                                   "val12345678", seq=1)]
+        log.requests = [
+            make_request("https://dest.com/s?uid=val12345678-extra", "p.com",
+                         seq=2)
+        ]
+        assert detect_cookie_sync(log).pair_count == 0
+
+    def test_path_segment_match(self):
+        log = CrawlLog()
+        log.cookies = [make_cookie("p.com", "origin.com", "uid",
+                                   "val12345678", seq=1)]
+        log.requests = [
+            make_request("https://dest.com/pixel/val12345678/m.gif", "p.com",
+                         seq=2)
+        ]
+        assert detect_cookie_sync(log).pair_count == 1
+
+    def test_heavy_pairs_threshold(self):
+        log = CrawlLog()
+        log.cookies = [make_cookie("p.com", "o.com", "uid", "v" * 12, seq=1)]
+        log.requests = [
+            make_request(f"https://d.com/s?uid={'v' * 12}", f"p{i}.com",
+                         seq=2 + i)
+            for i in range(80)
+        ]
+        report = detect_cookie_sync(log)
+        assert report.heavy_pairs(75) == {("o.com", "d.com"): 80}
+        assert report.heavy_pairs(100) == {}
+
+
+class TestCookieSyncIntegration:
+    def test_first_party_sync_origins_exist(self, universe, study):
+        """Sites passing their ID to ad networks appear as origins."""
+        report = study.cookie_sync()
+        passers = {d for d, s in universe.porn_sites.items()
+                   if s.passes_id_to is not None and s.responsive
+                   and not s.crawl_flaky}
+        assert report.origins & passers
+
+    def test_exoclick_family_syncs(self, study):
+        report = study.cookie_sync()
+        assert any(origin.endswith("exosrv.com") or origin == "exosrv.com"
+                   for origin, _ in report.pair_counts)
+
+    def test_hprofits_triangle(self, universe, study):
+        """hd100546b.com / bd202457b.com sync into hprofits.com (§5.1.2)."""
+        report = study.cookie_sync()
+        hprofits_edges = {
+            pair for pair in report.pair_counts
+            if pair[1] == "hprofits.com"
+        }
+        if not hprofits_edges:
+            pytest.skip("hprofits services not embedded at this scale")
+        origins = {origin for origin, _ in hprofits_edges}
+        assert origins & {"hd100546b.com", "bd202457b.com"}
+
+    def test_sync_sites_subset_of_corpus(self, study):
+        report = study.cookie_sync()
+        corpus = set(study.corpus_domains())
+        assert report.sites <= corpus

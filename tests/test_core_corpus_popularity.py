@@ -1,0 +1,122 @@
+"""Tests for §3: corpus compilation, sanitization, and popularity."""
+
+import pytest
+
+from repro.core.corpus import (
+    SOURCE_AGGREGATOR,
+    SOURCE_ALEXA_CATEGORY,
+    SOURCE_KEYWORD,
+    build_corpus,
+    classify_adult_content,
+    compile_candidates,
+)
+from repro.core.popularity import analyze_popularity, tier_counts
+
+
+@pytest.fixture(scope="module")
+def corpus_result(study):
+    return study.corpus()
+
+
+class TestCandidateCompilation:
+    def test_sources_combined(self, universe):
+        candidates = compile_candidates(universe)
+        by_source = candidates.count_by_source()
+        assert by_source.get(SOURCE_AGGREGATOR, 0) > 0
+        assert by_source.get(SOURCE_KEYWORD, 0) > 0
+
+    def test_keyword_candidates_contain_keywords(self, universe):
+        candidates = compile_candidates(universe)
+        for domain, source in candidates.sources.items():
+            if source == SOURCE_KEYWORD:
+                assert any(
+                    keyword in domain
+                    for keyword in ("porn", "tube", "sex", "gay", "lesbian",
+                                    "mature", "xxx")
+                )
+
+    def test_dedup_first_source_wins(self, universe):
+        candidates = compile_candidates(universe)
+        assert not candidates.add(candidates.domains[0], SOURCE_KEYWORD)
+
+    def test_candidate_count_scales(self, universe):
+        candidates = compile_candidates(universe)
+        expected = universe.config.scaled(universe.targets.candidates_total)
+        assert abs(len(candidates) - expected) <= max(8, expected * 0.05)
+
+
+class TestAdultClassifier:
+    def test_porn_page_classified(self, universe, crawlable_porn):
+        from repro.browser.browser import Browser
+        from repro.webgen.universe import ClientContext
+
+        browser = Browser(universe, ClientContext("ES", "31.0.0.1"))
+        visit = browser.visit(crawlable_porn[0])
+        assert classify_adult_content(visit.html)
+
+    def test_regular_page_not_classified(self):
+        html = """
+        <html><head><meta name="keywords" content="news, sports"></head>
+        <body><h1>Essex County News</h1>
+        <p>The latest sports stories and weather updates.</p></body></html>
+        """
+        assert not classify_adult_content(html)
+
+    def test_token_matching_not_substring(self):
+        # "Essex" and "Sussex" must not trip the classifier.
+        html = "<html><body><p>Essex Sussex Middlesex tube station</p></body></html>"
+        assert not classify_adult_content(html)
+
+
+class TestSanitization:
+    def test_corpus_size(self, universe, corpus_result):
+        _, sanitized = corpus_result
+        expected = universe.config.scaled(universe.targets.sanitized_corpus)
+        assert abs(len(sanitized.corpus) - expected) <= max(6, expected * 0.05)
+
+    def test_unresponsive_removed(self, universe, corpus_result):
+        _, sanitized = corpus_result
+        assert sanitized.unresponsive
+        for domain in sanitized.unresponsive:
+            site = universe.porn_sites.get(domain)
+            if site is not None:
+                assert not site.responsive
+
+    def test_non_adult_removed(self, universe, corpus_result):
+        _, sanitized = corpus_result
+        for domain in sanitized.non_adult:
+            assert domain in universe.regular_sites
+
+    def test_no_false_negatives(self, universe, corpus_result):
+        """Every responsive porn site survives sanitization."""
+        _, sanitized = corpus_result
+        kept = set(sanitized.corpus)
+        for domain, site in universe.porn_sites.items():
+            if site.responsive:
+                assert domain in kept
+
+
+class TestPopularity:
+    def test_report_covers_corpus(self, study):
+        report = study.popularity()
+        assert len(report.sites) == len(study.corpus_domains())
+
+    def test_always_top1m_fraction_near_16_percent(self, study):
+        report = study.popularity()
+        assert 0.10 <= report.always_top_1m_fraction <= 0.25
+
+    def test_figure1_series_sorted(self, study):
+        best, median, presence = study.popularity().figure1_series()
+        listed = [rank for rank in best if rank]
+        assert listed == sorted(listed)
+        assert all(0.0 <= p <= 1.0 for p in presence)
+
+    def test_tier_counts_sum(self, study):
+        report = study.popularity()
+        counts = tier_counts(report)
+        assert sum(counts.values()) == len(report.sites)
+
+    def test_unknown_domain_gets_zero_ranks(self, universe):
+        report = analyze_popularity(universe, ["never-ranked.example"])
+        assert report.sites[0].best_rank == 0
+        assert report.sites[0].tier == 3

@@ -1,0 +1,146 @@
+"""Tests for §5.1.3-§5.1.4: fingerprinting detection heuristics."""
+
+import pytest
+
+from repro.core.fingerprinting import (
+    FONT_ENUMERATION_THRESHOLD,
+    MEASURE_TEXT_THRESHOLD,
+    analyze_fingerprinting,
+    is_canvas_fingerprinting,
+    is_font_enumeration,
+    passes_englehardt_canvas,
+)
+from repro.js.api import API, JSCall
+from repro.js.runtime import (
+    CanvasBehavior,
+    FontProbeBehavior,
+    ScriptBehavior,
+    execute_script,
+)
+
+URL = "https://tracker.example/fp.js"
+
+
+def calls_for(behavior, url=URL, host="site.com"):
+    calls, _ = execute_script(url, behavior, document_host=host)
+    return calls
+
+
+class TestEnglehardtCriteria:
+    def _clean_canvas(self, **overrides):
+        spec = dict(width=300, height=150, colors=3, reads_back=True,
+                    uses_save_restore=False, uses_event_listener=False)
+        spec.update(overrides)
+        return CanvasBehavior(**spec)
+
+    def test_textbook_fingerprinter_passes(self):
+        calls = calls_for(ScriptBehavior(canvas=self._clean_canvas()))
+        assert passes_englehardt_canvas(calls)
+
+    def test_small_canvas_rejected(self):
+        calls = calls_for(
+            ScriptBehavior(canvas=self._clean_canvas(width=10, height=10))
+        )
+        assert not passes_englehardt_canvas(calls)
+
+    def test_no_read_back_rejected(self):
+        calls = calls_for(
+            ScriptBehavior(canvas=self._clean_canvas(reads_back=False))
+        )
+        assert not passes_englehardt_canvas(calls)
+
+    def test_small_read_area_rejected(self):
+        calls = calls_for(ScriptBehavior(canvas=self._clean_canvas(
+            read_api=API.CONTEXT_GET_IMAGE_DATA, read_area=100)))
+        assert not passes_englehardt_canvas(calls)
+
+    def test_save_restore_rejected(self):
+        # Criterion (4): drawing-app behavior disqualifies the script.
+        calls = calls_for(
+            ScriptBehavior(canvas=self._clean_canvas(uses_save_restore=True))
+        )
+        assert not passes_englehardt_canvas(calls)
+
+    def test_event_listener_rejected(self):
+        calls = calls_for(
+            ScriptBehavior(canvas=self._clean_canvas(uses_event_listener=True))
+        )
+        assert not passes_englehardt_canvas(calls)
+
+    def test_single_color_short_text_rejected(self):
+        calls = calls_for(ScriptBehavior(canvas=self._clean_canvas(
+            colors=1, text="aaaa")))
+        assert not passes_englehardt_canvas(calls)
+
+
+class TestPaperRule:
+    def test_fifty_same_text_measurements_match(self):
+        probe = FontProbeBehavior(fonts=4, repeats_per_font=16)  # 64 calls
+        calls = calls_for(ScriptBehavior(font_probe=probe))
+        assert is_canvas_fingerprinting(calls)
+
+    def test_below_threshold_not_matched(self):
+        probe = FontProbeBehavior(fonts=4, repeats_per_font=10)  # 40 calls
+        calls = calls_for(ScriptBehavior(font_probe=probe))
+        assert not is_canvas_fingerprinting(calls)
+
+    def test_distinct_texts_defeat_same_text_rule(self):
+        probe = FontProbeBehavior(fonts=120, repeats_per_font=1,
+                                  distinct_texts=True)
+        calls = calls_for(ScriptBehavior(font_probe=probe))
+        assert not is_canvas_fingerprinting(calls)
+        assert is_font_enumeration(calls)
+
+    def test_font_property_required(self):
+        calls = [
+            JSCall(URL, "s.com", API.CONTEXT_MEASURE_TEXT, {"text": "x"})
+            for _ in range(60)
+        ]
+        assert not is_canvas_fingerprinting(calls)
+
+    def test_font_enumeration_threshold(self):
+        few = FontProbeBehavior(fonts=FONT_ENUMERATION_THRESHOLD - 1,
+                                repeats_per_font=2, distinct_texts=True)
+        calls = calls_for(ScriptBehavior(font_probe=few))
+        assert not is_font_enumeration(calls)
+
+
+class TestReportIntegration:
+    @pytest.fixture(scope="class")
+    def report(self, study):
+        return study.fingerprinting()
+
+    def test_englehardt_finds_nothing(self, report):
+        """The paper's negative result: zero scripts pass the strict filters."""
+        assert len(report.englehardt_scripts) == 0
+
+    def test_canvas_scripts_found_by_paper_rule(self, report):
+        assert len(report.canvas_scripts) > 0
+        assert len(report.canvas_sites) > 0
+
+    def test_majority_of_canvas_scripts_unlisted(self, report):
+        """The 91% headline: blocklists miss the fingerprinters."""
+        assert report.unlisted_canvas_fraction() > 0.7
+
+    def test_most_canvas_scripts_are_third_party(self, report):
+        fraction = len(report.canvas_third_party_scripts()) / \
+            len(report.canvas_scripts)
+        assert 0.5 <= fraction <= 0.95
+
+    def test_font_enumeration_is_online_metrix(self, report):
+        domains = {s.domain for s in report.font_enumeration_scripts}
+        if not domains:
+            pytest.skip("online-metrix not embedded at this scale")
+        assert "online-metrix.net" in domains
+
+    def test_webrtc_scripts_found(self, report):
+        assert len(report.webrtc_scripts) > 0
+        assert len(report.webrtc_sites) > 0
+
+    def test_per_service_table_ranked(self, study, report):
+        labels = study.porn_labels()
+        rows = report.per_service_table(
+            lambda domain: len(labels.sites_embedding(domain))
+        )
+        presences = [presence for _, presence, _, _ in rows]
+        assert presences == sorted(presences, reverse=True)

@@ -1,0 +1,81 @@
+"""Unit tests for the geography comparison built on handcrafted inputs."""
+
+import pytest
+
+from repro.browser.events import CrawlLog, PageVisit
+from repro.core.ats import ATSResult
+from repro.core.geodiff import CountryObservation, analyze_geography
+from repro.core.malware import MalwareReport
+from repro.core.partylabel import PartyLabels
+
+
+def observation(country, fqdns, ats=(), malicious_domains=(),
+                malicious_sites=(), blocked=0):
+    log = CrawlLog(country_code=country)
+    for index in range(blocked):
+        log.visits.append(
+            PageVisit(f"blocked-{index}.com", "https://x/", False, status=451)
+        )
+    labels = PartyLabels()
+    labels.third_party_direct["page.com"] = set(fqdns)
+    ats_result = ATSResult(ats_fqdns=set(ats))
+    malware = MalwareReport(
+        malicious_third_parties=set(malicious_domains),
+        sites_with_malicious_third_parties={
+            site: set(malicious_domains) for site in malicious_sites
+        },
+    )
+    return CountryObservation(log=log, labels=labels, ats=ats_result,
+                              malware=malware)
+
+
+class TestGeoUnit:
+    def build(self):
+        observations = {
+            "ES": observation("ES", {"a.com", "b.com", "es-only.com"},
+                              ats={"a.com"},
+                              malicious_domains={"mal.com", "es-mal.com"},
+                              malicious_sites={"s1.com", "s2.com"}),
+            "RU": observation("RU", {"a.com", "ru-only.ru"},
+                              ats={"a.com", "ru-only.ru"},
+                              malicious_domains={"mal.com"},
+                              malicious_sites={"s1.com"},
+                              blocked=2),
+        }
+        return analyze_geography(
+            observations, regular_web_fqdns={"a.com", "unrelated.net"}
+        )
+
+    def test_unique_counts(self):
+        report = self.build()
+        rows = {row.country: row for row in report.rows}
+        assert rows["ES"].unique_fqdns == 2      # b.com, es-only.com
+        assert rows["RU"].unique_fqdns == 1      # ru-only.ru
+
+    def test_unique_ats(self):
+        report = self.build()
+        rows = {row.country: row for row in report.rows}
+        assert rows["ES"].unique_ats == 0        # a.com seen in both
+        assert rows["RU"].unique_ats == 1
+
+    def test_web_ecosystem_fraction(self):
+        report = self.build()
+        rows = {row.country: row for row in report.rows}
+        assert rows["ES"].web_ecosystem_fraction == pytest.approx(1 / 3)
+        assert rows["RU"].web_ecosystem_fraction == pytest.approx(1 / 2)
+
+    def test_blocked_counted(self):
+        report = self.build()
+        rows = {row.country: row for row in report.rows}
+        assert rows["RU"].blocked_sites == 2
+        assert rows["ES"].blocked_sites == 0
+
+    def test_totals_are_unions(self):
+        report = self.build()
+        assert report.total_fqdns == 4
+        assert report.total_ats == 2
+
+    def test_malware_everywhere_intersection(self):
+        report = self.build()
+        assert report.malicious_domains_everywhere == {"mal.com"}
+        assert report.malicious_sites_everywhere == {"s1.com"}

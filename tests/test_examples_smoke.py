@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs end to end at tiny scale."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=180):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "third-party domains contacted" in result.stdout
+
+    def test_tracking_audit(self):
+        result = run_example("tracking_audit.py", "0.02")
+        assert result.returncode == 0, result.stderr
+        assert "cookie syncing" in result.stdout
+        assert "Englehardt" in result.stdout
+
+    def test_compliance_check(self):
+        result = run_example("compliance_check.py", "0.02")
+        assert result.returncode == 0, result.stderr
+        assert "Privacy policies" in result.stdout
+        assert "GDPR red flags" in result.stdout
+
+    def test_geo_comparison(self):
+        result = run_example("geo_comparison.py", "0.02", "ES", "RU")
+        assert result.returncode == 0, result.stderr
+        assert "Russia sees" in result.stdout
+
+    def test_anti_tracking(self):
+        result = run_example("anti_tracking.py", "0.02")
+        assert result.returncode == 0, result.stderr
+        assert "content blocker" in result.stdout
+
+    def test_full_reproduction(self):
+        result = run_example("full_reproduction.py", "0.02", timeout=300)
+        assert result.returncode == 0, result.stderr
+        for marker in ("Table 2", "Figure 4", "Table 8", "completed in"):
+            assert marker in result.stdout, marker

@@ -1,0 +1,135 @@
+"""Unit tests for the HTML substrate (DOM, parser, queries)."""
+
+from repro.html.dom import Element
+from repro.html.parser import parse_html
+from repro.html.query import (
+    body,
+    elements_with_keyword,
+    find_all,
+    find_first,
+    head,
+    links,
+    meta_tags,
+    scripts,
+)
+
+
+class TestParser:
+    def test_simple_document(self):
+        root = parse_html("<html><body><p>hi</p></body></html>")
+        paragraph = find_first(root, "p")
+        assert paragraph is not None
+        assert paragraph.text() == "hi"
+
+    def test_attributes_lowercased(self):
+        root = parse_html('<div ID="x" CLASS="a b"></div>')
+        div = find_first(root, "div")
+        assert div.id == "x"
+        assert div.classes == ["a", "b"]
+
+    def test_void_elements_do_not_nest(self):
+        root = parse_html("<img src='a.png'><p>after</p>")
+        paragraph = find_first(root, "p")
+        assert paragraph.parent.tag == "html"
+
+    def test_unclosed_tags_recovered(self):
+        root = parse_html("<div><p>one<p>two</div><span>out</span>")
+        paragraphs = find_all(root, "p")
+        assert [p.text() for p in paragraphs] == ["one", "two"]
+        assert find_first(root, "span").text() == "out"
+
+    def test_stray_end_tag_ignored(self):
+        root = parse_html("</div><p>ok</p>")
+        assert find_first(root, "p").text() == "ok"
+
+    def test_self_closing_syntax(self):
+        root = parse_html('<link rel="stylesheet" href="x.css"/><p>t</p>')
+        link = find_first(root, "link")
+        assert link.get("href") == "x.css"
+
+    def test_entity_decoding(self):
+        root = parse_html("<p>a &amp; b</p>")
+        assert find_first(root, "p").text() == "a & b"
+
+    def test_html_attrs_merged_into_root(self):
+        root = parse_html('<html lang="ru"><body></body></html>')
+        assert root.get("lang") == "ru"
+        # No nested <html> element.
+        assert sum(1 for e in root.iter() if e.tag == "html") == 1
+
+
+class TestDom:
+    def test_style_parsing(self):
+        root = parse_html('<div style="position: FIXED; color:red"></div>')
+        div = find_first(root, "div")
+        assert div.style["position"] == "fixed"
+        assert div.is_floating
+
+    def test_not_floating_by_default(self):
+        root = parse_html("<div></div>")
+        assert not find_first(root, "div").is_floating
+
+    def test_sticky_and_absolute_float(self):
+        for position in ("absolute", "sticky"):
+            root = parse_html(f'<div style="position:{position}"></div>')
+            assert find_first(root, "div").is_floating
+
+    def test_ancestors_and_grandparent(self):
+        root = parse_html("<div><section><p>deep</p></section></div>")
+        paragraph = find_first(root, "p")
+        chain = [a.tag for a in paragraph.ancestors()]
+        assert chain == ["section", "div", "html"]
+        assert paragraph.grandparent.tag == "div"
+
+    def test_own_text_vs_descendant_text(self):
+        root = parse_html("<div>outer <span>inner</span></div>")
+        div = find_first(root, "div")
+        assert div.own_text() == "outer"
+        assert div.text() == "outer inner"
+
+    def test_depth(self):
+        root = parse_html("<a><b><c></c></b></a>")
+        c = find_first(root, "c")
+        assert c.depth() == 3
+
+
+class TestQueries:
+    SAMPLE = """
+    <html><head><title>t</title><meta name="rating" content="RTA-5042"></head>
+    <body>
+      <a href="/privacy">Privacy Policy</a>
+      <a>no-href anchor</a>
+      <script src="https://t.com/a.js"></script>
+      <div style="position:fixed"><button>Enter</button>
+        <p>You must be 18 years or older</p></div>
+    </body></html>
+    """
+
+    def test_links_require_href(self):
+        assert len(links(parse_html(self.SAMPLE))) == 1
+
+    def test_scripts(self):
+        found = scripts(parse_html(self.SAMPLE))
+        assert len(found) == 1
+        assert found[0].get("src") == "https://t.com/a.js"
+
+    def test_meta_tags_by_name(self):
+        tags = meta_tags(parse_html(self.SAMPLE), "rating")
+        assert len(tags) == 1
+        assert tags[0].get("content") == "RTA-5042"
+
+    def test_head_and_body(self):
+        root = parse_html(self.SAMPLE)
+        assert head(root).tag == "head"
+        assert body(root).tag == "body"
+
+    def test_keyword_matches_own_text_only(self):
+        root = parse_html(self.SAMPLE)
+        matches = elements_with_keyword(root, ["enter"])
+        assert any(e.tag == "button" for e in matches)
+
+    def test_find_all_with_predicate(self):
+        root = parse_html(self.SAMPLE)
+        floats = find_all(root, predicate=lambda e: e.is_floating)
+        assert len(floats) == 1
+        assert floats[0].tag == "div"

@@ -1,0 +1,124 @@
+"""Unit tests for script behaviors and the instrumented API log."""
+
+from repro.js.api import API, JSCall, calls_by_script
+from repro.js.runtime import (
+    CanvasBehavior,
+    FontProbeBehavior,
+    ScriptBehavior,
+    execute_script,
+)
+
+
+def run(behavior, url="https://t.com/s.js", host="site.com"):
+    return execute_script(url, behavior, document_host=host)
+
+
+class TestCanvasExecution:
+    def test_canvas_draw_sequence(self):
+        calls, _ = run(ScriptBehavior(canvas=CanvasBehavior(colors=3)))
+        apis = [c.api for c in calls]
+        assert apis[0] == API.CANVAS_CREATE
+        assert apis.count(API.CONTEXT_FILL_STYLE) == 3
+        assert API.CONTEXT_FILL_TEXT in apis
+        assert API.CANVAS_TO_DATA_URL in apis
+
+    def test_save_restore_emitted_when_flagged(self):
+        calls, _ = run(
+            ScriptBehavior(canvas=CanvasBehavior(uses_save_restore=True))
+        )
+        apis = {c.api for c in calls}
+        assert API.CONTEXT_SAVE in apis
+        assert API.CONTEXT_RESTORE in apis
+
+    def test_get_image_data_variant(self):
+        spec = CanvasBehavior(read_api=API.CONTEXT_GET_IMAGE_DATA, read_area=500)
+        calls, _ = run(ScriptBehavior(canvas=spec))
+        reads = [c for c in calls if c.api == API.CONTEXT_GET_IMAGE_DATA]
+        assert len(reads) == 1
+        assert reads[0].arg("area") == 500
+
+    def test_no_read_back(self):
+        calls, _ = run(ScriptBehavior(canvas=CanvasBehavior(reads_back=False)))
+        apis = {c.api for c in calls}
+        assert API.CANVAS_TO_DATA_URL not in apis
+        assert API.CONTEXT_GET_IMAGE_DATA not in apis
+
+
+class TestFontProbe:
+    def test_same_text_measurement_counts(self):
+        probe = FontProbeBehavior(fonts=4, repeats_per_font=16)
+        calls, _ = run(ScriptBehavior(font_probe=probe))
+        measures = [c for c in calls if c.api == API.CONTEXT_MEASURE_TEXT]
+        assert len(measures) == 64
+        texts = {c.arg("text") for c in measures}
+        assert len(texts) == 1  # all the same text
+
+    def test_distinct_texts_mode(self):
+        probe = FontProbeBehavior(fonts=60, repeats_per_font=1,
+                                  distinct_texts=True)
+        calls, _ = run(ScriptBehavior(font_probe=probe))
+        measures = [c for c in calls if c.api == API.CONTEXT_MEASURE_TEXT]
+        texts = {c.arg("text") for c in measures}
+        assert len(texts) == 60
+
+    def test_font_set_per_font(self):
+        probe = FontProbeBehavior(fonts=7)
+        calls, _ = run(ScriptBehavior(font_probe=probe))
+        fonts = [c for c in calls if c.api == API.CONTEXT_SET_FONT]
+        assert len(fonts) == 7
+        assert {c.arg("font_index") for c in fonts} == set(range(7))
+
+
+class TestOtherBehaviors:
+    def test_webrtc_calls(self):
+        calls, _ = run(ScriptBehavior(uses_webrtc=True))
+        apis = {c.api for c in calls}
+        assert API.RTC_PEER_CONNECTION in apis
+        assert API.RTC_ICE_CANDIDATE in apis
+
+    def test_miner_emits_worker_and_pool_request(self):
+        behavior = ScriptBehavior(is_miner=True,
+                                  miner_pool="wss://pool.coinhive.com/ws")
+        calls, follow_ups = run(behavior)
+        workers = [c for c in calls if c.api == API.WORKER_CREATE]
+        assert len(workers) == 1
+        assert workers[0].arg("purpose") == "cryptomining"
+        assert "wss://pool.coinhive.com/ws" in follow_ups
+
+    def test_beacons_returned_as_follow_ups(self):
+        behavior = ScriptBehavior(beacons=("https://t.com/px?cb=1",))
+        _, follow_ups = run(behavior)
+        assert follow_ups == ["https://t.com/px?cb=1"]
+
+    def test_navigator_reads(self):
+        calls, _ = run(ScriptBehavior(reads_navigator=True))
+        apis = {c.api for c in calls}
+        assert API.NAVIGATOR_USER_AGENT in apis
+        assert API.SCREEN_RESOLUTION in apis
+
+    def test_document_cookie_set(self):
+        calls, _ = run(ScriptBehavior(sets_document_cookie=("fpjs", "abc")))
+        sets = [c for c in calls if c.api == API.DOCUMENT_COOKIE_SET]
+        assert len(sets) == 1
+        assert sets[0].arg("name") == "fpjs"
+
+    def test_fingerprints_property(self):
+        assert ScriptBehavior(canvas=CanvasBehavior()).is_fingerprinting
+        assert ScriptBehavior(font_probe=FontProbeBehavior()).is_fingerprinting
+        assert not ScriptBehavior(uses_webrtc=True).is_fingerprinting
+
+
+class TestCallGrouping:
+    def test_calls_by_script(self):
+        calls = [
+            JSCall("https://a.com/1.js", "s.com", API.CONTEXT_SAVE, {}),
+            JSCall("https://b.com/2.js", "s.com", API.CONTEXT_SAVE, {}),
+            JSCall("https://a.com/1.js", "t.com", API.CONTEXT_RESTORE, {}),
+        ]
+        grouped = calls_by_script(calls)
+        assert len(grouped) == 2
+        assert len(grouped["https://a.com/1.js"]) == 2
+
+    def test_call_records_carry_document_host(self):
+        calls, _ = run(ScriptBehavior(uses_webrtc=True), host="page.com")
+        assert all(c.document_host == "page.com" for c in calls)

@@ -1,0 +1,120 @@
+"""Unit tests for Set-Cookie parsing and the cookie jar."""
+
+import pytest
+
+from repro.net.cookies import Cookie, CookieJar, parse_set_cookie
+from repro.net.url import parse_url
+
+
+class TestParseSetCookie:
+    def test_simple_cookie(self):
+        cookie = parse_set_cookie("uid=abc123", request_host="a.com")
+        assert cookie.name == "uid"
+        assert cookie.value == "abc123"
+        assert cookie.domain == "a.com"
+        assert cookie.session  # no Max-Age/Expires
+
+    def test_max_age_makes_persistent(self):
+        cookie = parse_set_cookie("uid=x; Max-Age=3600", request_host="a.com")
+        assert not cookie.session
+        assert cookie.max_age == 3600
+
+    def test_domain_attribute_allows_parent(self):
+        cookie = parse_set_cookie(
+            "uid=x; Domain=exoclick.com", request_host="ads.exoclick.com"
+        )
+        assert cookie.domain == "exoclick.com"
+        assert cookie.domain_attribute
+
+    def test_domain_attribute_rejects_foreign_domain(self):
+        cookie = parse_set_cookie(
+            "uid=x; Domain=other.com", request_host="ads.exoclick.com"
+        )
+        assert cookie is None
+
+    def test_leading_dot_domain_stripped(self):
+        cookie = parse_set_cookie("a=b; Domain=.x.com", request_host="www.x.com")
+        assert cookie.domain == "x.com"
+
+    def test_secure_and_httponly_flags(self):
+        cookie = parse_set_cookie("a=b; Secure; HttpOnly", request_host="x.com")
+        assert cookie.secure
+        assert cookie.http_only
+
+    def test_malformed_header_returns_none(self):
+        assert parse_set_cookie("no-equals-sign", request_host="x.com") is None
+        assert parse_set_cookie("=value-only", request_host="x.com") is None
+
+    def test_bad_max_age_ignored(self):
+        cookie = parse_set_cookie("a=b; Max-Age=zzz", request_host="x.com")
+        assert cookie is not None
+        assert cookie.max_age is None
+
+    def test_path_attribute(self):
+        cookie = parse_set_cookie("a=b; Path=/sub", request_host="x.com")
+        assert cookie.path == "/sub"
+
+
+class TestCookieJar:
+    def test_store_and_send_back(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("uid=v1; Max-Age=60", request_host="t.com"))
+        assert jar.cookie_header_for(parse_url("https://t.com/")) == "uid=v1"
+
+    def test_host_only_cookie_not_sent_to_subdomain(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("uid=v1", request_host="t.com"))
+        assert jar.cookie_header_for(parse_url("https://sub.t.com/")) is None
+
+    def test_domain_cookie_shared_across_subdomains(self):
+        jar = CookieJar()
+        jar.store(
+            parse_set_cookie("uid=v1; Domain=t.com", request_host="ads.t.com")
+        )
+        assert jar.cookie_header_for(parse_url("https://sync.t.com/")) == "uid=v1"
+
+    def test_secure_cookie_not_sent_over_http(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("uid=v1; Secure", request_host="t.com"))
+        assert jar.cookie_header_for(parse_url("http://t.com/")) is None
+        assert jar.cookie_header_for(parse_url("https://t.com/")) == "uid=v1"
+
+    def test_same_slot_overwritten(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("uid=v1", request_host="t.com"))
+        jar.store(parse_set_cookie("uid=v2", request_host="t.com"))
+        assert len(jar) == 1
+        assert jar.cookie_header_for(parse_url("https://t.com/")) == "uid=v2"
+
+    def test_zero_max_age_deletes(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("uid=v1", request_host="t.com"))
+        jar.store(parse_set_cookie("uid=gone; Max-Age=0", request_host="t.com"))
+        assert len(jar) == 0
+
+    def test_path_scoping(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("a=b; Path=/admin", request_host="t.com"))
+        assert jar.cookie_header_for(parse_url("https://t.com/")) is None
+        assert jar.cookie_header_for(parse_url("https://t.com/admin/x")) == "a=b"
+
+    def test_store_from_response_returns_stored(self):
+        jar = CookieJar()
+        stored = jar.store_from_response(
+            ["a=1; Max-Age=5", "broken", "b=2"], request_host="t.com"
+        )
+        assert [cookie.name for cookie in stored] == ["a", "b"]
+        assert len(jar) == 2
+
+    def test_cookie_header_sorted_longest_path_first(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("short=1; Path=/", request_host="t.com"))
+        jar.store(parse_set_cookie("deep=2; Path=/a/b", request_host="t.com"))
+        header = jar.cookie_header_for(parse_url("https://t.com/a/b/c"))
+        assert header == "deep=2; short=1"
+
+    def test_domains_listing(self):
+        jar = CookieJar()
+        jar.store(parse_set_cookie("a=1", request_host="b.com"))
+        jar.store(parse_set_cookie("a=1", request_host="a.com"))
+        assert jar.domains() == ["a.com", "b.com"]

@@ -1,0 +1,86 @@
+"""Unit tests for the HTTP message model."""
+
+from repro.net.http import Headers, Request, Response
+from repro.net.url import parse_url
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers([("Content-Type", "text/html")])
+        assert headers.get("content-type") == "text/html"
+        assert headers.get("CONTENT-TYPE") == "text/html"
+
+    def test_get_all_preserves_duplicates(self):
+        headers = Headers()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("Set-Cookie", "b=2")
+        assert headers.get_all("set-cookie") == ["a=1", "b=2"]
+
+    def test_set_replaces_all(self):
+        headers = Headers([("X", "1"), ("x", "2")])
+        headers.set("X", "3")
+        assert headers.get_all("x") == ["3"]
+
+    def test_contains_and_remove(self):
+        headers = Headers([("Referer", "https://a.com/")])
+        assert "referer" in headers
+        headers.remove("REFERER")
+        assert "referer" not in headers
+
+    def test_get_default(self):
+        assert Headers().get("Missing", "fallback") == "fallback"
+
+    def test_copy_is_independent(self):
+        original = Headers([("A", "1")])
+        copy = original.copy()
+        copy.add("B", "2")
+        assert len(original) == 1
+        assert len(copy) == 2
+
+    def test_equality(self):
+        assert Headers([("A", "1")]) == Headers([("A", "1")])
+        assert Headers([("A", "1")]) != Headers([("A", "2")])
+
+
+class TestRequestResponse:
+    def test_request_referrer_property(self):
+        request = Request(
+            parse_url("https://t.com/px"),
+            headers=Headers([("Referer", "https://site.com/")]),
+        )
+        assert request.referrer == "https://site.com/"
+
+    def test_request_cookie_header(self):
+        request = Request(
+            parse_url("https://t.com/px"), headers=Headers([("Cookie", "a=1")])
+        )
+        assert request.cookie_header == "a=1"
+
+    def test_response_ok_range(self):
+        url = parse_url("https://t.com/")
+        assert Response(url, 200).ok
+        assert Response(url, 204).ok
+        assert not Response(url, 404).ok
+        assert not Response(url, 302).ok
+
+    def test_redirect_detection(self):
+        url = parse_url("https://t.com/")
+        response = Response(url, 302, Headers([("Location", "https://b.com/s")]))
+        assert response.is_redirect
+        assert response.location == "https://b.com/s"
+
+    def test_set_cookie_headers(self):
+        url = parse_url("https://t.com/")
+        headers = Headers()
+        headers.add("Set-Cookie", "a=1")
+        headers.add("Set-Cookie", "b=2")
+        response = Response(url, 200, headers)
+        assert response.set_cookie_headers == ["a=1", "b=2"]
+
+    def test_reason_phrases(self):
+        url = parse_url("https://t.com/")
+        assert Response(url, 451).reason == "Unavailable For Legal Reasons"
+        assert Response(url, 299).reason == "Unknown"
+
+    def test_default_content_type(self):
+        assert Response(parse_url("https://t.com/"), 200).content_type == "text/html"

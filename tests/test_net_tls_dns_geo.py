@@ -1,0 +1,128 @@
+"""Unit tests for the TLS certificate model, DNS resolver, and geo-IP."""
+
+import pytest
+
+from repro.net.dns import DNSResolver, NXDomain
+from repro.net.geo import (
+    COUNTRIES,
+    GeoIPDatabase,
+    IPAllocator,
+    VantagePoint,
+    default_vantage_points,
+)
+from repro.net.tls import Certificate, certificate_matches_host, share_organization
+
+
+class TestCertificate:
+    def test_covers_exact_name(self):
+        cert = Certificate("example.com", san=frozenset({"example.com"}))
+        assert cert.covers("example.com")
+        assert not cert.covers("other.com")
+
+    def test_wildcard_one_label(self):
+        cert = Certificate("*.example.com", san=frozenset({"*.example.com"}))
+        assert cert.covers("a.example.com")
+        assert not cert.covers("a.b.example.com")
+        assert not cert.covers("example.com")
+
+    def test_has_organization_rejects_domain_subjects(self):
+        # DV certificates repeat the domain in the Subject; the paper
+        # discards them for attribution.
+        assert not Certificate("x.com", subject_o="x.com").has_organization
+        assert not Certificate("x.com", subject_o=None).has_organization
+        assert Certificate("x.com", subject_o="ExoClick S.L.").has_organization
+
+    def test_share_organization(self):
+        a = Certificate("a.com", subject_o="Oracle Corporation")
+        b = Certificate("b.com", subject_o="oracle corporation")
+        c = Certificate("c.com", subject_o="Other Inc.")
+        assert share_organization(a, b)
+        assert not share_organization(a, c)
+        assert not share_organization(a, None)
+
+    def test_certificate_matches_host_san_bridge(self):
+        # A site-CDN certificate listing the parent site in its SANs.
+        cert = Certificate(
+            "site-cdn.com", san=frozenset({"site-cdn.com", "bigsite.com"})
+        )
+        assert certificate_matches_host(cert, "bigsite.com")
+        assert not certificate_matches_host(cert, "unrelated.com")
+
+
+class TestDNS:
+    def test_exact_record(self):
+        resolver = DNSResolver()
+        resolver.add_record("a.com", "1.2.3.4")
+        assert resolver.resolve("a.com") == "1.2.3.4"
+        assert resolver.resolve("A.COM.") == "1.2.3.4"
+
+    def test_nxdomain(self):
+        resolver = DNSResolver()
+        with pytest.raises(NXDomain):
+            resolver.resolve("missing.com")
+        assert resolver.try_resolve("missing.com") is None
+
+    def test_wildcard_resolves_any_subdomain(self):
+        resolver = DNSResolver()
+        resolver.add_wildcard("exdynsrv.com", "5.6.7.8")
+        assert resolver.resolve("srv3-ru.exdynsrv.com") == "5.6.7.8"
+        assert resolver.resolve("exdynsrv.com") == "5.6.7.8"
+        assert resolver.resolve("a.b.exdynsrv.com") == "5.6.7.8"
+
+    def test_exact_beats_wildcard(self):
+        resolver = DNSResolver()
+        resolver.add_wildcard("x.com", "1.1.1.1")
+        resolver.add_record("special.x.com", "2.2.2.2")
+        assert resolver.resolve("special.x.com") == "2.2.2.2"
+
+    def test_query_counter(self):
+        resolver = DNSResolver()
+        resolver.add_record("a.com", "1.2.3.4")
+        resolver.resolve("a.com")
+        resolver.try_resolve("b.com")
+        assert resolver.query_count == 2
+
+
+class TestGeo:
+    def test_allocator_stays_in_country_prefix(self):
+        allocator = IPAllocator()
+        first = allocator.allocate("RU")
+        second = allocator.allocate("RU")
+        assert first.startswith("77.")
+        assert second.startswith("77.")
+        assert first != second
+
+    def test_allocator_unknown_country(self):
+        with pytest.raises(KeyError):
+            IPAllocator().allocate("XX")
+
+    def test_geoip_country_lookup(self):
+        database = GeoIPDatabase()
+        assert database.country_of("31.0.0.1").code == "ES"
+        assert database.country_of("77.5.5.5").code == "RU"
+        assert database.country_of("250.0.0.1") is None
+        assert database.country_of("garbage") is None
+
+    def test_geoip_coordinates(self):
+        database = GeoIPDatabase()
+        lat, lon = database.coordinates_of("31.0.0.1")
+        assert lat == pytest.approx(40.4)
+        assert lon == pytest.approx(-3.7)
+
+    def test_default_vantage_points_cover_study_countries(self):
+        points = default_vantage_points()
+        codes = {point.country_code for point in points}
+        assert codes == {"ES", "US", "UK", "RU", "IN", "SG"}
+        spain = next(p for p in points if p.country_code == "ES")
+        assert not spain.via_vpn  # the physical machine
+
+    def test_vantage_point_ip_matches_country(self):
+        database = GeoIPDatabase()
+        for point in default_vantage_points():
+            assert database.country_of(point.client_ip).code == point.country_code
+
+    def test_eu_membership(self):
+        assert COUNTRIES["ES"].in_eu
+        assert not COUNTRIES["US"].in_eu
+        assert COUNTRIES["UK"].age_verification_law
+        assert COUNTRIES["RU"].social_login_mandate

@@ -1,0 +1,130 @@
+"""Unit tests for URL parsing and registrable-domain logic."""
+
+import pytest
+
+from repro.net.url import (
+    URL,
+    URLError,
+    fqdn_of,
+    is_subdomain_of,
+    parse_url,
+    registrable_domain,
+)
+from repro.net.url import group_by_registrable
+
+
+class TestParseUrl:
+    def test_basic_https(self):
+        url = parse_url("https://example.com/path?a=1#frag")
+        assert url.scheme == "https"
+        assert url.host == "example.com"
+        assert url.path == "/path"
+        assert url.query == "a=1"
+        assert url.fragment == "frag"
+
+    def test_default_scheme_for_bare_domain(self):
+        url = parse_url("pornhub.com")
+        assert url.scheme == "https"
+        assert url.host == "pornhub.com"
+        assert url.path == "/"
+
+    def test_http_scheme_preserved(self):
+        assert parse_url("http://example.com/").scheme == "http"
+
+    def test_host_lowercased(self):
+        assert parse_url("https://ExAmPle.COM/").host == "example.com"
+
+    def test_explicit_port(self):
+        url = parse_url("https://example.com:8443/x")
+        assert url.port == 8443
+        assert url.effective_port == 8443
+
+    def test_default_ports(self):
+        assert parse_url("https://a.com/").effective_port == 443
+        assert parse_url("http://a.com/").effective_port == 80
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(URLError):
+            parse_url("https://example.com:abc/")
+        with pytest.raises(URLError):
+            parse_url("https://example.com:70000/")
+
+    def test_empty_url_rejected(self):
+        with pytest.raises(URLError):
+            parse_url("")
+
+    def test_unsupported_scheme_rejected(self):
+        with pytest.raises(URLError):
+            parse_url("ftp://example.com/")
+
+    def test_wss_supported_for_miner_pools(self):
+        url = parse_url("wss://pool.coinhive.com/ws")
+        assert url.scheme == "wss"
+        assert url.is_secure
+
+    def test_invalid_host_label(self):
+        with pytest.raises(URLError):
+            parse_url("https://bad_host.com/")
+
+    def test_str_round_trip(self):
+        text = "https://a.example.com/p/q?x=1&y=2"
+        assert str(parse_url(text)) == text
+
+    def test_query_params(self):
+        params = parse_url("https://a.com/s?uid=abc&src=x.com").query_params()
+        assert params == {"uid": "abc", "src": "x.com"}
+
+    def test_with_query_param(self):
+        url = parse_url("https://a.com/px").with_query_param("cb", "123")
+        assert url.query == "cb=123"
+        assert url.with_query_param("d", "4").query == "cb=123&d=4"
+
+
+class TestRegistrableDomain:
+    def test_plain_com(self):
+        assert registrable_domain("www.example.com") == "example.com"
+
+    def test_deep_subdomain(self):
+        assert registrable_domain("a.b.c.example.net") == "example.net"
+
+    def test_two_level_suffix(self):
+        assert registrable_domain("news.bbc.co.uk") == "bbc.co.uk"
+
+    def test_dynamic_cdn_host(self):
+        assert registrable_domain("img100-589.xvideos.com") == "xvideos.com"
+
+    def test_bare_domain_unchanged(self):
+        assert registrable_domain("exoclick.com") == "exoclick.com"
+
+    def test_unknown_tld_falls_back_to_two_labels(self):
+        assert registrable_domain("a.b.example.weirdtld") == "example.weirdtld"
+
+    def test_xxx_tld(self):
+        assert registrable_domain("www.sexmex.xxx") == "sexmex.xxx"
+
+    def test_party_tld(self):
+        assert registrable_domain("cdn.xcvgdf.party") == "xcvgdf.party"
+
+
+class TestHelpers:
+    def test_fqdn_of_url_string(self):
+        assert fqdn_of("https://a.b.com/x") == "a.b.com"
+
+    def test_fqdn_of_bare_host(self):
+        assert fqdn_of("A.B.COM") == "a.b.com"
+
+    def test_is_subdomain_of(self):
+        assert is_subdomain_of("ads.exoclick.com", "exoclick.com")
+        assert is_subdomain_of("exoclick.com", "exoclick.com")
+        assert not is_subdomain_of("notexoclick.com", "exoclick.com")
+
+    def test_group_by_registrable(self):
+        groups = group_by_registrable(
+            ["a.x.com", "b.x.com", "c.y.net"]
+        )
+        assert set(groups["x.com"]) == {"a.x.com", "b.x.com"}
+        assert groups["y.net"] == ["c.y.net"]
+
+    def test_origin_triple(self):
+        url = parse_url("https://a.com/x")
+        assert url.origin == ("https", "a.com", 443)

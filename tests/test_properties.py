@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocklists.easylist import FilterList
+from repro.core.cookie_sync import _url_tokens
+from repro.net.cookies import CookieJar, parse_set_cookie
+from repro.net.url import URL, parse_url, registrable_domain
+from repro.text.levenshtein import levenshtein_distance, similarity
+from repro.text.tfidf import TfIdfVectorizer, cosine_similarity
+from repro.text.tokenize import tokenize
+from repro.util import stable_hash, token_for
+
+label = st.text(alphabet=string.ascii_lowercase + string.digits,
+                min_size=1, max_size=8)
+hostname = st.builds(
+    lambda labels: ".".join(labels),
+    st.lists(label, min_size=2, max_size=4),
+)
+words = st.text(alphabet=string.ascii_letters + " ", min_size=0, max_size=200)
+
+
+class TestUrlProperties:
+    @given(hostname, st.sampled_from(["http", "https"]))
+    def test_parse_str_round_trip(self, host, scheme):
+        url = URL(scheme, host, None, "/p", "a=1")
+        assert parse_url(str(url)) == url
+
+    @given(hostname)
+    def test_registrable_domain_is_suffix(self, host):
+        base = registrable_domain(host)
+        assert host == base or host.endswith("." + base)
+
+    @given(hostname)
+    def test_registrable_domain_idempotent(self, host):
+        base = registrable_domain(host)
+        assert registrable_domain(base) == base
+
+
+class TestLevenshteinProperties:
+    @given(st.text(max_size=30), st.text(max_size=30))
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(st.text(max_size=30))
+    def test_identity(self, a):
+        assert levenshtein_distance(a, a) == 0
+        assert similarity(a, a) == 1.0
+
+    @given(st.text(max_size=20), st.text(max_size=20), st.text(max_size=20))
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= \
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    def test_similarity_bounds(self, a, b):
+        assert 0.0 <= similarity(a, b) <= 1.0
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    def test_distance_bounded_by_longer(self, a, b):
+        assert levenshtein_distance(a, b) <= max(len(a), len(b))
+
+
+class TestTfIdfProperties:
+    @given(st.lists(words, min_size=2, max_size=6))
+    def test_cosine_bounds(self, corpus):
+        vectorizer = TfIdfVectorizer()
+        vectors = vectorizer.fit_transform(corpus)
+        for i in range(len(vectors)):
+            for j in range(len(vectors)):
+                value = cosine_similarity(vectors[i], vectors[j])
+                assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @given(words)
+    def test_self_similarity(self, document):
+        vectorizer = TfIdfVectorizer()
+        vectors = vectorizer.fit_transform([document, "other words here"])
+        if vectors[0]:
+            assert cosine_similarity(vectors[0], vectors[0]) == \
+                __import__("pytest").approx(1.0)
+
+    @given(st.text(max_size=300))
+    def test_tokens_are_lowercase(self, text):
+        for token in tokenize(text):
+            assert token == token.lower()
+
+
+class TestCookieJarProperties:
+    cookie_name = st.text(alphabet=string.ascii_lowercase, min_size=1,
+                          max_size=8)
+    cookie_value = st.text(alphabet=string.ascii_letters + string.digits,
+                           min_size=1, max_size=30)
+
+    @given(st.lists(st.tuples(cookie_name, cookie_value), min_size=1,
+                    max_size=20))
+    def test_jar_size_bounded_by_distinct_names(self, pairs):
+        jar = CookieJar()
+        for name, value in pairs:
+            cookie = parse_set_cookie(f"{name}={value}", request_host="t.com")
+            jar.store(cookie)
+        assert len(jar) == len({name for name, _ in pairs})
+
+    @given(cookie_name, cookie_value)
+    def test_stored_cookie_always_sent_back(self, name, value):
+        jar = CookieJar()
+        jar.store(parse_set_cookie(f"{name}={value}", request_host="t.com"))
+        header = jar.cookie_header_for(parse_url("https://t.com/"))
+        assert header == f"{name}={value}"
+
+    @given(st.lists(hostname, min_size=1, max_size=10))
+    def test_cookies_never_leak_across_unrelated_hosts(self, hosts):
+        jar = CookieJar()
+        for index, host in enumerate(hosts):
+            jar.store(parse_set_cookie(f"c{index}=v{index}",
+                                       request_host=host))
+        for host in hosts:
+            header = jar.cookie_header_for(parse_url(f"https://{host}/")) or ""
+            for index, other in enumerate(hosts):
+                if other != host:
+                    assert f"c{index}=v{index}" not in header or \
+                        other == host
+
+
+class TestDeterminismProperties:
+    @given(st.lists(st.text(max_size=20), min_size=1, max_size=5))
+    def test_stable_hash_deterministic(self, parts):
+        assert stable_hash(*parts) == stable_hash(*parts)
+
+    @given(st.integers(min_value=0, max_value=200),
+           st.text(max_size=20))
+    def test_token_length_exact(self, length, seed_text):
+        token = token_for(length, seed_text)
+        assert len(token) == length
+        assert all(c in string.ascii_lowercase + string.digits for c in token)
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_token_differs_across_keys(self, a, b):
+        if a != b:
+            assert token_for(16, a) != token_for(16, b)
+
+
+class TestFilterListProperties:
+    @given(hostname)
+    def test_domain_rule_matches_all_subdomains(self, host):
+        base = registrable_domain(host)
+        rules = FilterList.from_text(f"||{base}^")
+        assert rules.matches(f"https://{host}/anything")
+        assert rules.matches_domain(host)
+
+    @given(hostname, hostname)
+    def test_unrelated_domains_unmatched(self, host, other):
+        if registrable_domain(host) == registrable_domain(other):
+            return
+        rules = FilterList.from_text(f"||{registrable_domain(host)}^")
+        assert not rules.matches(f"https://{other}/x")
+
+
+class TestSyncTokenProperties:
+    @given(st.dictionaries(
+        st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+        st.text(alphabet=string.ascii_lowercase + string.digits,
+                min_size=8, max_size=24),
+        min_size=0, max_size=5,
+    ))
+    def test_query_values_extracted(self, params):
+        query = "&".join(f"{k}={v}" for k, v in params.items())
+        url = f"https://x.com/p?{query}" if query else "https://x.com/p"
+        tokens = set(_url_tokens(url))
+        for value in params.values():
+            assert value in tokens

@@ -1,0 +1,94 @@
+"""Additional Study-level integration checks (caching, cross-country)."""
+
+import pytest
+
+from repro import Study, UniverseConfig
+
+
+class TestStudyExtensionsCaching:
+    def test_extension_results_cached(self, study):
+        assert study.subscription_tracking() is study.subscription_tracking()
+        assert study.cross_border() is study.cross_border()
+
+    def test_banners_cached_per_country(self, study):
+        assert study.banners("US") is study.banners("US")
+        assert study.banners("US") is not study.banners("ES")
+
+    def test_malware_cached_per_country(self, study):
+        assert study.malware("RU") is study.malware("RU")
+        assert study.malware("RU") is not study.malware("ES")
+
+    def test_age_verification_cached_by_params(self, study):
+        first = study.age_verification(top_n=25)
+        second = study.age_verification(top_n=25)
+        assert first is second
+
+
+class TestCrossCountryCrawls:
+    def test_country_logs_differ_in_content(self, study):
+        es_fqdns = {record.fqdn for record in study.porn_log("ES").requests}
+        ru_fqdns = {record.fqdn for record in study.porn_log("RU").requests}
+        assert es_fqdns != ru_fqdns
+        assert es_fqdns - ru_fqdns       # Spain sees ES-only services
+
+    def test_ru_crawl_has_blocked_visits(self, study, universe):
+        blocked_truth = {
+            d for d, s in universe.porn_sites.items()
+            if "RU" in s.blocked_countries and s.responsive
+            and not s.crawl_flaky
+        }
+        if not blocked_truth:
+            pytest.skip("no RU-blocked sites at this scale")
+        ru_log = study.porn_log("RU")
+        failed_451 = {
+            v.site_domain for v in ru_log.visits
+            if not v.success and v.status == 451
+        }
+        assert failed_451 == blocked_truth
+
+    def test_wildcard_hosts_differ_per_country(self, study, universe):
+        wildcard_ads = [
+            d for d, s in universe.services.items()
+            if s.wildcard_subdomains and s.category == "advertising"
+        ]
+        if not wildcard_ads:
+            pytest.skip("no wildcard ad services at this scale")
+        domain = wildcard_ads[0]
+        es_hosts = {r.fqdn for r in study.porn_log("ES").requests
+                    if r.fqdn.endswith(domain)}
+        ru_hosts = {r.fqdn for r in study.porn_log("RU").requests
+                    if r.fqdn.endswith(domain)}
+        if es_hosts and ru_hosts:
+            assert es_hosts != ru_hosts
+
+    def test_same_corpus_each_country(self, study):
+        es_sites = {v.site_domain for v in study.porn_log("ES").visits}
+        ru_sites = {v.site_domain for v in study.porn_log("RU").visits}
+        assert es_sites == ru_sites
+
+
+class TestStudyDeterminism:
+    def test_two_studies_same_seed_same_results(self):
+        config = UniverseConfig(seed=77, scale=0.02)
+        first = Study.build(config)
+        second = Study.build(config)
+        assert first.corpus_domains() == second.corpus_domains()
+        table_a = first.table2()
+        table_b = second.table2()
+        assert table_a.porn_third_party == table_b.porn_third_party
+        assert table_a.porn_ats == table_b.porn_ats
+        stats_a = first.cookie_stats()
+        stats_b = second.cookie_stats()
+        assert stats_a.total_cookies == stats_b.total_cookies
+        assert stats_a.ip_cookies == stats_b.ip_cookies
+
+    def test_crawl_logs_byte_identical(self):
+        config = UniverseConfig(seed=78, scale=0.01)
+        first = Study.build(config)
+        second = Study.build(config)
+        log_a = first.porn_log()
+        log_b = second.porn_log()
+        assert [r.url for r in log_a.requests] == \
+            [r.url for r in log_b.requests]
+        assert [(c.name, c.value) for c in log_a.cookies] == \
+            [(c.name, c.value) for c in log_b.cookies]

@@ -1,0 +1,130 @@
+"""Integration tests for the Study orchestrator and reporting layer."""
+
+import pytest
+
+from repro.reporting.figures import (
+    bar,
+    figure1_ascii,
+    figure1_csv,
+    figure3_ascii,
+    figure3_csv,
+    figure4_ascii,
+    figure4_edges_csv,
+)
+from repro.reporting.tables import (
+    format_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table6,
+    render_table8,
+)
+
+
+class TestStudyCaching:
+    def test_logs_are_cached(self, study):
+        assert study.porn_log() is study.porn_log()
+        assert study.table2() is study.table2()
+
+    def test_corpus_consistent_with_popularity(self, study):
+        assert len(study.popularity().sites) == len(study.corpus_domains())
+
+    def test_per_country_logs_independent(self, study):
+        es = study.porn_log("ES")
+        ru = study.porn_log("RU")
+        assert es is not ru
+        assert es.country_code == "ES"
+        assert ru.country_code == "RU"
+
+    def test_table2_corpus_sizes(self, study, universe):
+        table = study.table2()
+        config = universe.config
+        expected_porn = config.scaled(config.targets.crawlable_corpus)
+        assert abs(table.porn_corpus - expected_porn) <= expected_porn * 0.1
+
+    def test_table3_site_counts_sum_to_crawled(self, study):
+        table = study.table3()
+        total = sum(row.site_count for row in table.rows)
+        assert total == len(study.porn_log().successful_visits())
+
+    def test_figure3_sorted_by_porn_prevalence(self, study):
+        bars = study.figure3(top_n=10)
+        fractions = [entry.porn_fraction for entry in bars]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_attribution_covers_majority(self, study):
+        attribution = study.porn_attribution()
+        assert attribution.attributed_fraction() > 0.55
+
+    def test_best_rank_helper(self, study):
+        domain = study.corpus_domains()[0]
+        assert study.best_rank(domain) >= 0
+
+
+class TestTableRendering:
+    def test_format_table_alignment(self):
+        text = format_table(("A", "Bee"), [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("A")
+
+    def test_render_table2(self, study):
+        text = render_table2(study.table2())
+        assert "Third-party ATS" in text
+        assert "Corpus size" in text
+
+    def test_render_table3(self, study):
+        text = render_table3(study.table3())
+        assert "10k-100k" in text
+
+    def test_render_table4(self, study):
+        text = render_table4(study.cookie_stats())
+        assert "% cookies with user IP" in text
+
+    def test_render_table6(self, study):
+        text = render_table6(study.https_report())
+        assert "HTTPS" in text
+        assert "Porn websites" in text
+
+    def test_render_table8(self, study):
+        text = render_table8(study.banners("ES"), study.banners("US"))
+        assert "No Option" in text
+        assert "Total" in text
+
+    def test_render_table1(self, study):
+        text = render_table1(study.owners(), study.best_rank)
+        assert "# sites" in text
+
+
+class TestFigureRendering:
+    def test_bar_widths(self):
+        assert bar(0.0, width=10) == "." * 10
+        assert bar(1.0, width=10) == "#" * 10
+        assert bar(2.0, width=4) == "####"  # clamped
+
+    def test_figure1_csv_header(self, study):
+        csv = figure1_csv(study.popularity())
+        assert csv.startswith("site,best_rank,median_rank")
+        assert len(csv.splitlines()) == len(study.popularity().sites) + 1
+
+    def test_figure1_ascii(self, study):
+        text = figure1_ascii(study.popularity())
+        assert "always in top-1M" in text
+
+    def test_figure3_csv(self, study):
+        csv = figure3_csv(study.figure3(top_n=5))
+        assert csv.startswith("organization,")
+        assert len(csv.splitlines()) <= 6
+
+    def test_figure3_ascii(self, study):
+        text = figure3_ascii(study.figure3(top_n=3))
+        assert "P " in text and "R " in text
+
+    def test_figure4_csv_threshold(self, study):
+        csv = figure4_edges_csv(study.cookie_sync(), minimum=1)
+        assert csv.startswith("origin,destination")
+
+    def test_figure4_ascii(self, study):
+        text = figure4_ascii(study.cookie_sync(), minimum=1)
+        assert "cookie syncing" in text

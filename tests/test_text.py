@@ -1,0 +1,140 @@
+"""Unit tests for the text-analytics substrate."""
+
+import math
+
+import pytest
+
+from repro.text.langs import (
+    AGE_GATE_BUTTON_KEYWORDS,
+    COOKIE_BANNER_KEYWORDS,
+    LANGUAGES,
+    PRIVACY_LINK_KEYWORDS,
+    all_keywords,
+    contains_keyword,
+    matching_keywords,
+)
+from repro.text.levenshtein import domains_similar, levenshtein_distance, similarity
+from repro.text.tfidf import TfIdfVectorizer, cosine_similarity, pairwise_similarities
+from repro.text.tokenize import term_counts, tokenize
+
+
+class TestTokenize:
+    def test_basic_words(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_keeps_hyphens_and_apostrophes(self):
+        assert tokenize("opt-out of user's data") == \
+            ["opt-out", "of", "user's", "data"]
+
+    def test_numbers(self):
+        assert tokenize("18 years") == ["18", "years"]
+
+    def test_essex_is_one_token(self):
+        # Token matching must not see "sex" inside "Essex".
+        assert "sex" not in tokenize("Essex county news")
+
+    def test_term_counts(self):
+        assert term_counts("a b a") == {"a": 2, "b": 1}
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_classic_example(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_empty(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert similarity("", "") == 1.0
+
+    def test_symmetry(self):
+        assert levenshtein_distance("ab", "ba") == levenshtein_distance("ba", "ab")
+
+    def test_paper_positive_pair(self):
+        # §4.2: doublepimp.com and doublepimpssl.com are the same entity.
+        assert domains_similar("doublepimp.com", "doublepimpssl.com")
+
+    def test_paper_negative_pair(self):
+        # ... while doubleclick.net is not.
+        assert not domains_similar("doublepimp.com", "doubleclick.net")
+
+    def test_www_stripped(self):
+        assert domains_similar("www.example.com", "example.com")
+
+    def test_threshold_strict_inequality(self):
+        # similarity exactly at the threshold is rejected.
+        assert not domains_similar("abcde", "vwxyz", threshold=0.0) or \
+            similarity("abcde", "vwxyz") > 0.0
+
+
+class TestTfIdf:
+    def test_identical_documents_similarity_one(self):
+        vectorizer = TfIdfVectorizer()
+        corpus = ["the cat sat on the mat", "the cat sat on the mat", "dogs bark"]
+        vectors = vectorizer.fit_transform(corpus)
+        assert cosine_similarity(vectors[0], vectors[1]) == pytest.approx(1.0)
+
+    def test_disjoint_documents_similarity_zero(self):
+        vectorizer = TfIdfVectorizer()
+        vectors = vectorizer.fit_transform(["alpha beta", "gamma delta"])
+        assert cosine_similarity(vectors[0], vectors[1]) == 0.0
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            TfIdfVectorizer().transform("text")
+
+    def test_min_df_filters_rare_terms(self):
+        vectorizer = TfIdfVectorizer(min_df=2)
+        vectorizer.fit(["rare word here", "word again", "word thrice"])
+        vector = vectorizer.transform("rare word")
+        assert "rare" not in vector
+        assert "word" in vector
+
+    def test_min_df_validation(self):
+        with pytest.raises(ValueError):
+            TfIdfVectorizer(min_df=0)
+
+    def test_pairwise_count(self):
+        pairs = list(pairwise_similarities(["a b", "a c", "d e"]))
+        assert len(pairs) == 3  # C(3,2)
+        indices = {(i, j) for i, j, _ in pairs}
+        assert indices == {(0, 1), (0, 2), (1, 2)}
+
+    def test_similarity_in_unit_range(self):
+        vectorizer = TfIdfVectorizer()
+        corpus = ["a b c d", "b c d e", "x y z"]
+        vectors = vectorizer.fit_transform(corpus)
+        for i in range(3):
+            for j in range(3):
+                value = cosine_similarity(vectors[i], vectors[j])
+                assert 0.0 <= value <= 1.0 + 1e-9
+
+
+class TestLanguageTables:
+    def test_eight_languages_everywhere(self):
+        for table in (AGE_GATE_BUTTON_KEYWORDS, PRIVACY_LINK_KEYWORDS,
+                      COOKIE_BANNER_KEYWORDS):
+            assert set(table) == set(LANGUAGES)
+            for keywords in table.values():
+                assert keywords  # non-empty per language
+
+    def test_paper_age_keywords_present(self):
+        english = AGE_GATE_BUTTON_KEYWORDS["en"]
+        for keyword in ("yes", "enter", "agree", "continue", "accept"):
+            assert keyword in english
+
+    def test_contains_keyword(self):
+        assert contains_keyword("Click ENTER to continue", AGE_GATE_BUTTON_KEYWORDS)
+        assert not contains_keyword("nothing here", PRIVACY_LINK_KEYWORDS)
+
+    def test_matching_keywords_sorted(self):
+        matches = matching_keywords("accept and continue", AGE_GATE_BUTTON_KEYWORDS)
+        assert matches == sorted(matches)
+        assert "accept" in matches
+
+    def test_all_keywords_merges(self):
+        merged = all_keywords(PRIVACY_LINK_KEYWORDS)
+        assert "privacy" in merged
+        assert "datenschutz" in merged
+        assert "конфиденциальности" in merged

@@ -1,0 +1,158 @@
+"""Fine-grained tests of the synthetic server's endpoint behaviors."""
+
+import base64
+
+import pytest
+
+from repro.net.http import Headers, Request
+from repro.net.url import parse_url, registrable_domain
+from repro.webgen.universe import ClientContext
+
+ES = ClientContext("ES", "31.0.0.1")
+RU = ClientContext("RU", "77.0.0.1")
+
+
+def fetch(universe, url, client=ES, referrer=None, cookie=None):
+    headers = Headers()
+    if referrer:
+        headers.set("Referer", referrer)
+    if cookie:
+        headers.set("Cookie", cookie)
+    return universe.fetch(Request(parse_url(url), headers=headers), client)
+
+
+class TestCookieEndpoints:
+    def test_cookie_value_stable_per_client(self, universe):
+        first = fetch(universe, "https://exosrv.com/px?cb=1",
+                      referrer="https://samesite.com/")
+        second = fetch(universe, "https://exosrv.com/px?cb=1",
+                       referrer="https://samesite.com/")
+        assert first.set_cookie_headers == second.set_cookie_headers
+
+    def test_cookie_value_differs_per_client_ip(self, universe):
+        other = ClientContext("ES", "31.0.0.99")
+        for index in range(20):
+            referrer = f"https://ipsite-{index}.com/"
+            a = fetch(universe, "https://exosrv.com/px?cb=1",
+                      referrer=referrer)
+            if not a.set_cookie_headers:
+                continue  # this context set no cookie; try another
+            b = fetch(universe, "https://exosrv.com/px?cb=1", other,
+                      referrer=referrer)
+            assert a.set_cookie_headers != b.set_cookie_headers
+            return
+        pytest.fail("exosrv never set cookies in 20 contexts")
+
+    def test_ip_embedding_decodable(self, universe):
+        """ExoClick's IP-bearing cookies base64-decode to the client IP."""
+        found = False
+        for index in range(30):
+            response = fetch(universe, "https://exosrv.com/px?cb=1",
+                             referrer=f"https://probe-{index}.com/")
+            for header in response.set_cookie_headers:
+                value = header.split(";", 1)[0].split("=", 1)[1]
+                padded = value + "=" * (-len(value) % 4)
+                try:
+                    decoded = base64.b64decode(padded).decode()
+                except Exception:
+                    continue
+                if ES.client_ip in decoded:
+                    found = True
+        assert found
+
+    def test_geo_cookie_coordinates_match_client_country(self, universe):
+        response = fetch(universe, "https://fling.com/px?cb=1",
+                         referrer="https://probe.com/")
+        geo_headers = [h for h in response.set_cookie_headers
+                       if h.startswith("geo=") or h.startswith("loc=")]
+        if not geo_headers:
+            pytest.skip("fling cookie not set for this context")
+        assert "lat%3D40.4" in geo_headers[0]  # Spain's centroid
+
+    def test_secure_attribute_follows_scheme_support(self, universe):
+        response = fetch(universe, "https://exosrv.com/px?cb=1",
+                         referrer="https://probe.com/")
+        for header in response.set_cookie_headers:
+            assert "Secure" in header
+
+
+class TestSyncChain:
+    def test_sync_receiver_sets_own_cookie(self, universe):
+        # Find a firing sync first.
+        location = None
+        for index in range(30):
+            response = fetch(universe, "https://exosrv.com/px?cb=1",
+                             referrer=f"https://chain-{index}.com/")
+            if response.is_redirect:
+                location = response.location
+                referrer = f"https://chain-{index}.com/"
+                break
+        if location is None:
+            pytest.skip("no sync fired")
+        follow = fetch(universe, location, referrer=referrer)
+        assert follow.status in (200, 302)
+
+    def test_sync_url_carries_source(self, universe):
+        for index in range(30):
+            response = fetch(universe, "https://exosrv.com/px?cb=1",
+                             referrer=f"https://src-{index}.com/")
+            if response.is_redirect:
+                params = parse_url(response.location).query_params()
+                assert params.get("src") == "exosrv.com"
+                assert int(params.get("hop", "0")) >= 1
+                return
+        pytest.skip("no sync fired")
+
+
+class TestAdFrames:
+    def test_ad_frame_contains_bidders(self, universe):
+        response = fetch(universe, "https://exoclick.com/ad/frame-x.html",
+                         referrer="https://framesite.com/")
+        assert response.status == 200
+        assert "<script" in response.body or "sponsored" in response.body
+
+    def test_bidder_scripts_resolve(self, universe):
+        if not universe.rtb_bidders:
+            pytest.skip("no bidders at this scale")
+        bidder = universe.rtb_bidders[0]
+        assert universe.dns.try_resolve(bidder) is not None
+
+
+class TestScriptBodies:
+    def test_script_content_type(self, universe):
+        response = fetch(universe, "https://exoclick.com/ad/banner-abc.js",
+                         referrer="https://x.com/")
+        assert response.headers.get("Content-Type") == "application/javascript"
+
+    def test_pub_param_passthrough(self, universe):
+        response = fetch(
+            universe, "https://exoclick.com/ad/banner-abc.js?pub=uid12345678",
+            referrer="https://x.com/",
+        )
+        assert response.status == 200
+
+    def test_miner_pool_handshake(self, universe):
+        response = fetch(universe, "wss://pool.coinhive.com/ws")
+        assert response.status == 200
+
+
+class TestHostingGeo:
+    def test_ru_domains_hosted_in_ru(self, universe):
+        ru_service = next((d for d in universe.services if d.endswith(".ru")),
+                          None)
+        if ru_service is None:
+            pytest.skip("no .ru services at this scale")
+        address = universe.dns.resolve(ru_service)
+        assert universe.geoip.country_of(address).code == "RU"
+
+    def test_hosting_distribution_spread(self, universe):
+        from collections import Counter
+
+        counts = Counter()
+        for domain in list(universe.services)[:300]:
+            address = universe.dns.try_resolve(domain)
+            country = universe.geoip.country_of(address)
+            if country:
+                counts[country.code] += 1
+        assert counts["US"] > 0
+        assert len(counts) >= 3

@@ -1,0 +1,157 @@
+"""Tests for utilities, name generation, and policy-text generation."""
+
+import pytest
+
+from repro.util import rng_for, stable_hash, token_for
+from repro.webgen.names import ADULT_KEYWORDS, NameFactory
+from repro.webgen.policytext import (
+    DOMINANT_TEMPLATE,
+    PolicyGenerator,
+    PolicySpec,
+    TEMPLATE_COUNT,
+)
+
+
+class TestUtil:
+    def test_stable_hash_differs_by_part_order(self):
+        assert stable_hash("a", "b") != stable_hash("b", "a")
+
+    def test_stable_hash_no_concatenation_collision(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_rng_for_deterministic(self):
+        assert rng_for(1, "x").random() == rng_for(1, "x").random()
+        assert rng_for(1, "x").random() != rng_for(1, "y").random()
+
+    def test_token_for_zero_length(self):
+        assert token_for(0, "a") == ""
+
+    def test_token_for_long(self):
+        token = token_for(3000, "seed")
+        assert len(token) == 3000
+
+
+class TestNameFactory:
+    @pytest.fixture()
+    def factory(self):
+        return NameFactory(rng_for(5, "names-test"))
+
+    def test_porn_domain_contains_keyword(self, factory):
+        for _ in range(30):
+            domain = factory.porn_domain(with_keyword=True)
+            assert any(keyword in domain for keyword in ADULT_KEYWORDS)
+
+    def test_non_keyword_domain_avoids_keywords(self, factory):
+        for _ in range(30):
+            domain = factory.porn_domain(with_keyword=False)
+            assert not any(keyword in domain for keyword in ADULT_KEYWORDS)
+
+    def test_false_positive_has_keyword_substring(self, factory):
+        for _ in range(30):
+            domain = factory.false_positive_domain()
+            assert any(keyword in domain
+                       for keyword in ("sex", "tube", "mature", "gay", "xxx"))
+
+    def test_uniqueness(self, factory):
+        domains = {factory.adtech_domain() for _ in range(300)}
+        assert len(domains) == 300
+
+    def test_reserve_blocks_collision(self, factory):
+        factory.reserve("pornhub.com")
+        assert factory.is_taken("pornhub.com")
+        for _ in range(50):
+            assert factory.porn_domain() != "pornhub.com"
+
+    def test_obscure_domains_look_obscure(self, factory):
+        domain = factory.obscure_domain()
+        stem, _, tld = domain.rpartition(".")
+        assert tld in ("party", "top", "pro", "info", "biz")
+        assert stem.isalpha()
+
+
+class TestPolicyGenerator:
+    @pytest.fixture()
+    def generator(self):
+        return PolicyGenerator(rng_for(6, "policy-test"))
+
+    def test_spec_lengths_bounded(self, generator):
+        for _ in range(100):
+            spec = generator.sample_spec()
+            assert 1_088 <= spec.target_length <= 243_649
+
+    def test_dominant_template_majority(self, generator):
+        specs = [generator.sample_spec() for _ in range(300)]
+        dominant = sum(1 for s in specs if s.template_id == DOMINANT_TEMPLATE)
+        assert dominant > 150
+
+    def test_operator_template_pinned(self, generator):
+        spec = generator.sample_spec(operator_template=3)
+        assert spec.template_id == 3
+
+    def test_render_reaches_target_length(self, generator):
+        spec = generator.sample_spec()
+        text = generator.render(spec, site_domain="x.com", company="ACME Ltd")
+        assert len(text) >= spec.target_length
+
+    def test_render_substitutes_company(self, generator):
+        spec = PolicySpec(
+            template_id=DOMINANT_TEMPLATE, target_length=1_088,
+            mentions_gdpr=False, discloses_cookies=True,
+            discloses_data_types=True, discloses_third_parties=True,
+        )
+        text = generator.render(spec, site_domain="x.com",
+                                company="Gamma Entertainment Ltd.")
+        assert "Gamma Entertainment Ltd." in text
+        assert "privacy@x.com" in text
+
+    def test_gdpr_section_conditional(self, generator):
+        base = dict(template_id=0, target_length=1_088,
+                    discloses_cookies=False, discloses_data_types=False,
+                    discloses_third_parties=False)
+        with_gdpr = generator.render(
+            PolicySpec(mentions_gdpr=True, **base), site_domain="a.com",
+            company=None)
+        without = generator.render(
+            PolicySpec(mentions_gdpr=False, **base), site_domain="a.com",
+            company=None)
+        assert "GDPR" in with_gdpr
+        assert "GDPR" not in without
+
+    def test_full_list_rendered(self, generator):
+        spec = PolicySpec(
+            template_id=0, target_length=1_088, mentions_gdpr=False,
+            discloses_cookies=True, discloses_data_types=True,
+            discloses_third_parties=True, full_third_party_list=True,
+        )
+        text = generator.render(spec, site_domain="a.com", company=None,
+                                third_parties=["exoclick.com", "juicyads.com"])
+        assert "exoclick.com" in text
+        assert "juicyads.com" in text
+
+    def test_same_template_same_company_near_identical(self, generator):
+        from repro.text.tfidf import TfIdfVectorizer, cosine_similarity
+
+        spec = PolicySpec(
+            template_id=1, target_length=2_000, mentions_gdpr=True,
+            discloses_cookies=True, discloses_data_types=True,
+            discloses_third_parties=True,
+        )
+        text_a = generator.render(spec, site_domain="a.com", company="Z Ltd")
+        text_b = generator.render(spec, site_domain="b.com", company="Z Ltd")
+        vectors = TfIdfVectorizer().fit_transform([text_a, text_b])
+        assert cosine_similarity(vectors[0], vectors[1]) > 0.95
+
+    def test_different_templates_dissimilar(self, generator):
+        from repro.text.tfidf import TfIdfVectorizer, cosine_similarity
+
+        def spec(template):
+            return PolicySpec(
+                template_id=template, target_length=1_088,
+                mentions_gdpr=False, discloses_cookies=False,
+                discloses_data_types=False, discloses_third_parties=False,
+            )
+        text_a = generator.render(spec(1), site_domain="a.com", company=None)
+        text_b = generator.render(spec(6), site_domain="a.com", company=None)
+        vectors = TfIdfVectorizer().fit_transform([text_a, text_b])
+        assert cosine_similarity(vectors[0], vectors[1]) < 0.9

@@ -1,0 +1,164 @@
+"""Tests for the universe builder's calibration machinery."""
+
+import pytest
+
+from repro.webgen import UniverseConfig, build_universe
+from repro.webgen.config import CalibrationTargets
+from repro.webgen.organizations import (
+    PornOperator,
+    TailOrgAllocator,
+    operators_from_targets,
+)
+from repro.util import rng_for
+
+
+class TestOperators:
+    def test_roster_from_targets(self):
+        operators = operators_from_targets(CalibrationTargets())
+        assert len(operators) == 24
+        assert sum(op.site_count for op in operators) == 286
+        mindgeek = next(op for op in operators if op.name == "MindGeek")
+        assert mindgeek.flagship_domain == "pornhub.com"
+        assert mindgeek.flagship_best_rank == 22
+
+    def test_legal_name_suffix(self):
+        assert PornOperator("SexMex", 12, "sexmex.xxx", 1).legal_name == \
+            "SexMex Ltd."
+        assert PornOperator("AFS Media LTD", 5, "x.com", 1).legal_name == \
+            "AFS Media LTD"
+
+    def test_tail_org_allocator_sizes(self):
+        allocator = TailOrgAllocator(rng_for(3, "orgs-test"),
+                                     mean_domains_per_org=3.0, max_domains=8)
+        for _ in range(500):
+            allocator.next_org()
+        sizes = allocator.organizations
+        assert sum(sizes.values()) == 500
+        assert max(sizes.values()) <= 8
+        assert min(sizes.values()) >= 1
+        # Several multi-domain organizations exist (attribution fodder).
+        assert sum(1 for size in sizes.values() if size >= 2) > 10
+
+
+class TestCalibrationStructure:
+    """The generated universe honors its structural calibration targets."""
+
+    def test_cookie_free_sites_have_no_cookie_setting_embeds(self, universe):
+        free = 0
+        for site in universe.porn_sites.values():
+            if not site.responsive or site.crawl_flaky:
+                continue
+            setters = [
+                s for s in site.embedded_services
+                if universe.services[s].sets_cookies
+            ]
+            if not setters:
+                free += 1
+        total = sum(1 for s in universe.porn_sites.values()
+                    if s.responsive and not s.crawl_flaky)
+        # ~28% of sites must stay free of cookie-setting third parties.
+        assert 0.15 <= free / total <= 0.40
+
+    def test_non_https_services_avoid_https_sites(self, universe):
+        violations = 0
+        for site in universe.porn_sites.values():
+            if not site.https:
+                continue
+            for domain in site.embedded_services:
+                if not universe.services[domain].https:
+                    violations += 1
+        assert violations == 0
+
+    def test_every_crawlable_site_has_embeds(self, universe):
+        for site in universe.porn_sites.values():
+            if site.responsive and not site.crawl_flaky:
+                assert len(site.embedded_services) >= 2
+
+    def test_owner_cluster_sizes_scale(self, universe):
+        from collections import Counter
+
+        counts = Counter(s.owner for s in universe.porn_sites.values()
+                         if s.owner)
+        scale = universe.config.scale
+        assert counts["Gamma Entertainment"] == max(1, round(65 * scale))
+        assert counts["MindGeek"] == max(1, round(54 * scale))
+
+    def test_whois_coverage_split(self, universe):
+        exposed = hidden = 0
+        for domain, service in universe.services.items():
+            if universe.whois.organization_of(domain):
+                exposed += 1
+            else:
+                hidden += 1
+        # ~74% of services register openly (the attributable fraction).
+        assert exposed / (exposed + hidden) > 0.6
+
+    def test_rtb_bidders_not_directly_embedded(self, universe):
+        embedded = set()
+        for site in universe.porn_sites.values():
+            embedded.update(site.embedded_services)
+        for bidder in universe.rtb_bidders:
+            assert bidder not in embedded
+
+    def test_easylist_contains_named_and_tail_rules(self, universe):
+        text = universe.easylist_text
+        assert "||exoclick.com^" in text
+        assert "||ero-advertising.com/ad/" in text       # path-only rule
+        assert "||ero-advertising.com^" not in text
+        assert text.count("||") > 20
+
+    def test_disconnect_list_is_incomplete(self, universe):
+        """Disconnect covers far fewer organizations than exist (§4.2(3))."""
+        all_orgs = {s.organization for s in universe.services.values()
+                    if s.organization}
+        assert len(universe.disconnect.organizations) < len(all_orgs)
+
+    def test_miner_prevalence_tiny(self, universe):
+        miner_sites = [
+            s for s in universe.porn_sites.values()
+            if any(universe.services[d].miner for d in s.embedded_services)
+        ]
+        assert len(miner_sites) <= max(3, 0.01 * len(universe.porn_sites))
+
+    def test_scale_changes_corpus_size(self):
+        small = build_universe(UniverseConfig(seed=11, scale=0.01))
+        large = build_universe(UniverseConfig(seed=11, scale=0.03))
+        assert len(large.porn_sites) > 2 * len(small.porn_sites)
+
+    def test_seed_changes_universe(self):
+        first = build_universe(UniverseConfig(seed=1, scale=0.01))
+        second = build_universe(UniverseConfig(seed=2, scale=0.01))
+        assert set(first.porn_sites) != set(second.porn_sites)
+
+
+class TestGeoStructure:
+    def test_country_unique_services_exist(self, universe):
+        for code in ("US", "UK", "ES", "RU", "IN", "SG"):
+            unique = [
+                s for s in universe.services.values()
+                if s.countries == frozenset({code})
+            ]
+            assert unique, f"no {code}-only services"
+
+    def test_ru_excluded_pool(self, universe):
+        excluded = [
+            s for s in universe.services.values()
+            if "RU" in s.excluded_countries
+        ]
+        # Russia must miss a visible chunk of the ecosystem (§6).
+        assert len(excluded) >= universe.config.scaled(500)
+
+    def test_geo_malware_sets_cover_india_most(self, universe):
+        targeted = [
+            s for s in universe.services.values()
+            if s.malicious_countries is not None
+        ]
+        if not targeted:
+            pytest.skip("no geo-targeted malware at this scale")
+        from collections import Counter
+
+        counts = Counter()
+        for service in targeted:
+            for code in service.malicious_countries:
+                counts[code] += 1
+        assert counts["IN"] >= max(counts.values()) - 1

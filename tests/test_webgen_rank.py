@@ -1,0 +1,119 @@
+"""Unit tests for the rank-trajectory model (Figure 1 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.util import rng_for
+from repro.webgen.rank import (
+    RankModel,
+    RankTrajectory,
+    TOP_LIST_SIZE,
+    summarize_series,
+    tier_of_rank,
+)
+
+
+def model(days=365):
+    return RankModel(rng_for(7, "rank-test"), days=days)
+
+
+class TestTierOfRank:
+    def test_boundaries(self):
+        assert tier_of_rank(1) == 0
+        assert tier_of_rank(1_000) == 0
+        assert tier_of_rank(1_001) == 1
+        assert tier_of_rank(10_000) == 1
+        assert tier_of_rank(10_001) == 2
+        assert tier_of_rank(100_000) == 2
+        assert tier_of_rank(100_001) == 3
+        assert tier_of_rank(5_000_000) == 3
+
+
+class TestSampling:
+    def test_best_rank_within_tier(self):
+        m = model()
+        for tier, (low, high) in enumerate(
+            [(30, 1_000), (1_001, 10_000), (10_001, 100_000), (100_001, 4_000_000)]
+        ):
+            for _ in range(20):
+                trajectory = m.sample(tier)
+                assert low <= trajectory.best_rank <= high
+
+    def test_pinned_best_rank(self):
+        trajectory = model().sample(0, best_rank=22)
+        assert trajectory.best_rank == 22
+        assert trajectory.observed_best >= 22
+
+    def test_observed_best_close_to_true_best(self):
+        # With 365 half-normal draws the minimum multiplier is ~1.
+        trajectory = model().sample(1, best_rank=5_000)
+        assert trajectory.observed_best <= 6_000
+
+    def test_median_at_least_best(self):
+        for _ in range(20):
+            trajectory = model().sample(2)
+            if trajectory.ever_present:
+                assert trajectory.observed_median >= trajectory.observed_best
+                assert trajectory.observed_worst >= trajectory.observed_median
+
+    def test_presence_fraction_bounds(self):
+        for tier in range(4):
+            trajectory = model().sample(tier)
+            assert 0.0 <= trajectory.presence_fraction <= 1.0
+
+    def test_tier0_sites_mostly_always_present(self):
+        m = model()
+        always = sum(m.sample(0).always_present for _ in range(100))
+        assert always > 70
+
+    def test_tier3_sites_rarely_always_present(self):
+        m = model()
+        always = sum(m.sample(3).always_present for _ in range(100))
+        assert always < 25
+
+    def test_dropout_preserves_best_day(self):
+        # Even a high-dropout site keeps its best rank observable, so the
+        # site's popularity tier is stable.
+        m = model()
+        for _ in range(50):
+            trajectory = m.sample(2)
+            if trajectory.ever_present:
+                assert trajectory.tier == tier_of_rank(trajectory.observed_best)
+
+
+class TestSummaries:
+    def test_summarize_full_presence(self):
+        series = np.array([10, 20, 30])
+        summary = summarize_series(series)
+        assert summary.observed_best == 10
+        assert summary.observed_median == 20
+        assert summary.observed_worst == 30
+        assert summary.always_present
+        assert summary.always_top_1k
+
+    def test_summarize_with_censoring(self):
+        series = np.array([500, TOP_LIST_SIZE + 5, 800])
+        summary = summarize_series(series)
+        assert summary.days_present == 2
+        assert summary.observed_best == 500
+        assert not summary.always_present
+
+    def test_never_present(self):
+        series = np.full(10, TOP_LIST_SIZE + 1)
+        summary = summarize_series(series)
+        assert not summary.ever_present
+        assert summary.observed_best == 0
+        assert summary.tier == 3
+
+    def test_always_top_1k_requires_presence(self):
+        series = np.array([900, TOP_LIST_SIZE + 1])
+        assert not summarize_series(series).always_top_1k
+
+    def test_invalid_days(self):
+        with pytest.raises(ValueError):
+            RankModel(rng_for(1, "x"), days=0)
+
+    def test_daily_series_positive(self):
+        series = model(100).daily_series(50, 1.0)
+        assert (series >= 1).all()
+        assert len(series) == 100

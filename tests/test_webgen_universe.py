@@ -1,0 +1,248 @@
+"""Integration tests of the generated universe and its server behavior."""
+
+import pytest
+
+from repro.net.http import Headers, Request
+from repro.net.url import parse_url, registrable_domain
+from repro.webgen import NAMED_SERVICES, UniverseConfig, build_universe
+from repro.webgen.universe import (
+    ClientContext,
+    FetchError,
+    SiteTimeoutError,
+    SiteUnresponsiveError,
+)
+
+ES = ClientContext("ES", "31.0.0.1")
+RU = ClientContext("RU", "77.0.0.1")
+
+
+def fetch(universe, url, client=ES, referrer=None):
+    headers = Headers()
+    if referrer:
+        headers.set("Referer", referrer)
+    return universe.fetch(Request(parse_url(url), headers=headers), client)
+
+
+class TestCorpusShape:
+    def test_counts_scale(self, universe):
+        sanitized = [s for s in universe.porn_sites.values() if s.responsive]
+        config = universe.config
+        assert len(sanitized) == config.scaled(config.targets.sanitized_corpus)
+
+    def test_flagships_present(self, universe):
+        assert "pornhub.com" in universe.porn_sites
+        assert "xvideos.com" in universe.porn_sites
+        assert universe.porn_sites["pornhub.com"].owner == "MindGeek"
+
+    def test_flagship_rank_pinned(self, universe):
+        assert universe.porn_sites["pornhub.com"].trajectory.best_rank == 22
+
+    def test_every_operator_has_sites(self, universe):
+        owners = {s.owner for s in universe.porn_sites.values() if s.owner}
+        assert "MindGeek" in owners
+        assert "Gamma Entertainment" in owners
+
+    def test_reference_corpus_excludes_keyword_traps(self, universe):
+        for domain in universe.reference_regular_corpus():
+            assert universe.regular_sites[domain].in_reference_corpus
+
+    def test_keyword_trap_sites_exist(self, universe):
+        traps = [s for s in universe.regular_sites.values()
+                 if s.has_adult_keyword]
+        assert traps
+        assert all(not s.in_reference_corpus for s in traps)
+
+    def test_determinism(self):
+        config = UniverseConfig(seed=99, scale=0.01)
+        first = build_universe(config)
+        second = build_universe(config)
+        assert sorted(first.porn_sites) == sorted(second.porn_sites)
+        assert sorted(first.services) == sorted(second.services)
+        site = next(iter(sorted(first.porn_sites)))
+        assert first.porn_sites[site].embedded_services == \
+            second.porn_sites[site].embedded_services
+
+
+class TestServing:
+    def _crawlable(self, universe):
+        return sorted(
+            d for d, s in universe.porn_sites.items()
+            if s.responsive and not s.crawl_flaky
+        )
+
+    def test_landing_page_serves(self, universe):
+        domain = self._crawlable(universe)[0]
+        site = universe.porn_sites[domain]
+        scheme = "https" if site.https else "http"
+        response = fetch(universe, f"{scheme}://{domain}/")
+        assert response.status == 200
+        assert "<html>" in response.body
+
+    def test_https_refused_when_unsupported(self, universe):
+        domain = next(d for d in self._crawlable(universe)
+                      if not universe.porn_sites[d].https)
+        with pytest.raises(FetchError):
+            fetch(universe, f"https://{domain}/")
+
+    def test_unresponsive_site_raises(self, universe):
+        domain = next(d for d, s in universe.porn_sites.items()
+                      if not s.responsive)
+        with pytest.raises(SiteUnresponsiveError):
+            fetch(universe, f"http://{domain}/")
+
+    def test_flaky_site_ok_at_sanitization_fails_at_crawl(self, universe):
+        domain = next(d for d, s in universe.porn_sites.items()
+                      if s.responsive and s.crawl_flaky)
+        site = universe.porn_sites[domain]
+        scheme = "https" if site.https else "http"
+        sanitization = ClientContext("ES", "31.0.0.1", epoch="sanitization")
+        assert fetch(universe, f"{scheme}://{domain}/", sanitization).status == 200
+        with pytest.raises(SiteTimeoutError):
+            fetch(universe, f"{scheme}://{domain}/")
+
+    def test_blocked_country_gets_451(self, universe):
+        domain = next((d for d, s in universe.porn_sites.items()
+                       if "RU" in s.blocked_countries and s.responsive
+                       and not s.crawl_flaky), None)
+        if domain is None:
+            pytest.skip("no RU-blocked site at this scale")
+        site = universe.porn_sites[domain]
+        scheme = "https" if site.https else "http"
+        assert fetch(universe, f"{scheme}://{domain}/", RU).status == 451
+        assert fetch(universe, f"{scheme}://{domain}/", ES).status == 200
+
+    def test_first_party_cookies_set_deterministically(self, universe):
+        domain = next(d for d in self._crawlable(universe)
+                      if universe.porn_sites[d].first_party_cookies > 0)
+        site = universe.porn_sites[domain]
+        scheme = "https" if site.https else "http"
+        first = fetch(universe, f"{scheme}://{domain}/").set_cookie_headers
+        second = fetch(universe, f"{scheme}://{domain}/").set_cookie_headers
+        assert first == second
+        assert any(header.startswith("PHPSESSID=") for header in first)
+
+    def test_policy_page(self, universe):
+        domain = next(
+            (d for d, s in universe.porn_sites.items()
+             if s.policy and not s.policy.link_broken and s.responsive
+             and not s.crawl_flaky),
+            None,
+        )
+        assert domain is not None
+        site = universe.porn_sites[domain]
+        scheme = "https" if site.https else "http"
+        response = fetch(universe, f"{scheme}://{domain}/privacy")
+        assert response.status == 200
+        assert "Privacy Policy" in response.body
+
+    def test_broken_policy_link_404(self, universe):
+        domain = next(
+            (d for d, s in universe.porn_sites.items()
+             if s.policy and s.policy.link_broken and s.responsive
+             and not s.crawl_flaky),
+            None,
+        )
+        if domain is None:
+            pytest.skip("no broken-policy site at this scale")
+        site = universe.porn_sites[domain]
+        scheme = "https" if site.https else "http"
+        assert fetch(universe, f"{scheme}://{domain}/privacy").status == 404
+
+
+class TestServiceEndpoints:
+    def test_beacon_sets_service_cookie(self, universe):
+        response = fetch(universe, "https://exosrv.com/px?cb=1",
+                         referrer="https://example-site.com/")
+        cookies = response.set_cookie_headers
+        assert cookies
+        assert all("Domain=exosrv.com" in header for header in cookies)
+
+    def test_sync_redirect_carries_cookie_value(self, universe):
+        # exosrv syncs with probability 0.9; probe a few site contexts.
+        for index in range(20):
+            response = fetch(universe, "https://exosrv.com/px?cb=1",
+                             referrer=f"https://site-{index}.com/")
+            if response.is_redirect:
+                assert "uid=" in response.location
+                assert "src=exosrv.com" in response.location
+                return
+        pytest.fail("exosrv never issued a sync redirect in 20 contexts")
+
+    def test_script_behavior_for_fp_script(self, universe):
+        url = parse_url("https://xcvgdf.party/fp/fp-0.js")
+        behavior = universe.script_behavior(url)
+        assert behavior is not None
+        assert behavior.is_fingerprinting
+
+    def test_script_behavior_for_miner(self, universe):
+        url = parse_url("https://coinhive.com/miner.js")
+        behavior = universe.script_behavior(url)
+        assert behavior.is_miner
+        assert behavior.miner_pool
+
+    def test_analytics_sets_first_party_cookie(self, universe):
+        url = parse_url("https://google-analytics.com/analytics.js")
+        behavior = universe.script_behavior(url)
+        assert behavior.sets_document_cookie is not None
+        assert behavior.sets_document_cookie[0] == "_go"
+
+    def test_geo_blocked_service_unavailable(self, universe):
+        domain = next(
+            (d for d, s in universe.services.items()
+             if "RU" in s.excluded_countries),
+            None,
+        )
+        if domain is None:
+            pytest.skip("no RU-excluded service at this scale")
+        service = universe.services[domain]
+        scheme = "https" if service.https else "http"
+        with pytest.raises(FetchError):
+            fetch(universe, f"{scheme}://{domain}/px", RU)
+
+    def test_wildcard_subdomain_routing(self, universe):
+        domain = next(d for d, s in universe.services.items()
+                      if s.wildcard_subdomains)
+        service = universe.services[domain]
+        scheme = "https" if service.https else "http"
+        response = fetch(universe, f"{scheme}://anything-at-all.{domain}/px")
+        assert response.status in (200, 302)
+
+
+class TestDataSources:
+    def test_alexa_includes_porn_and_regular(self, universe):
+        domains = set(universe.alexa_top1m_domains())
+        assert any(d in domains for d in universe.porn_sites)
+        assert any(d in domains for d in universe.regular_sites)
+
+    def test_scanner_flags_miners_everywhere(self, universe):
+        assert universe.scanner_hits("coinhive.com") >= 4
+        assert universe.scanner_hits("coinhive.com", "RU") >= 4
+
+    def test_geo_targeted_malware_scanner(self, universe):
+        targeted = next(
+            (d for d, s in universe.services.items()
+             if s.scanner_hits >= 4 and s.malicious_countries is not None),
+            None,
+        )
+        if targeted is None:
+            pytest.skip("no geo-targeted malware at this scale")
+        service = universe.services[targeted]
+        inside = next(iter(service.malicious_countries))
+        outside = next(c for c in ("US", "UK", "ES", "RU", "IN", "SG")
+                       if c not in service.malicious_countries)
+        assert universe.scanner_hits(targeted, inside) >= 4
+        assert universe.scanner_hits(targeted, outside) == 0
+
+    def test_whois_redacts_independent_porn_sites(self, universe):
+        independent = next(d for d, s in universe.porn_sites.items()
+                           if s.owner is None)
+        assert universe.whois_organization(independent) is None
+
+    def test_whois_exposes_adtech(self, universe):
+        named = next(s for s in NAMED_SERVICES if s.cert_org)
+        assert universe.whois_organization(named.domain) == named.cert_org
+
+    def test_rank_history_data_source(self, universe):
+        domain = next(iter(universe.porn_sites))
+        assert universe.rank_history(domain) is not None
+        assert universe.rank_history("not-a-site.example") is None
