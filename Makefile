@@ -1,0 +1,24 @@
+PYTHON ?= python
+SCALE ?= 0.2
+export PYTHONPATH := src
+
+.PHONY: test bench profile
+
+## Run the tier-1 test suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Run the end-to-end pipeline benchmark for parallelism 1 and 4; writes
+## BENCH_pipeline.json at the repo root (each config in its own process).
+bench:
+	$(PYTHON) benchmarks/test_perf_pipeline.py --scale $(SCALE)
+
+## Profile one sequential pipeline run and print the top-20 functions by
+## total own time.
+profile:
+	$(PYTHON) -c "import cProfile, pstats, sys; \
+	sys.argv = ['bench']; \
+	from benchmarks.test_perf_pipeline import run_pipeline; \
+	profiler = cProfile.Profile(); \
+	profiler.runcall(run_pipeline, $(SCALE), 1); \
+	pstats.Stats(profiler).sort_stats('tottime').print_stats(20)"

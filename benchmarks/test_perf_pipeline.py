@@ -1,0 +1,190 @@
+"""End-to-end pipeline timing: universe build, crawls, analysis stages.
+
+Writes machine-readable ``BENCH_pipeline.json`` at the repo root with one
+entry per parallelism setting (schema: stage -> seconds, plus scale and
+parallelism).  Each configuration runs in a **fresh subprocess**: forking a
+worker pool from a process that already ran a large sequential study
+inflates copy-on-write page faults and would make the parallel run look
+slower than it is, so configs never share a process.
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/test_perf_pipeline.py \
+        --scale 0.2 --parallelism-set 1,4
+
+or through pytest (scale via ``REPRO_PERF_SCALE``, default 0.05 so the
+test stays quick)::
+
+    REPRO_PERF_SCALE=0.2 PYTHONPATH=src pytest benchmarks/test_perf_pipeline.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_pipeline.json"
+SCHEMA = "bench-pipeline/v1"
+DEFAULT_COUNTRIES = ("ES", "US", "UK", "RU", "IN", "SG")
+
+
+# --------------------------------------------------------------------------
+# Child mode: time one (scale, parallelism) configuration in-process.
+# --------------------------------------------------------------------------
+
+def run_pipeline(scale: float, parallelism: int, countries=DEFAULT_COUNTRIES):
+    """Build a universe and run the crawl + analysis pipeline, timing stages.
+
+    Returns ``{"scale", "parallelism", "stages": {name: seconds}, ...}``.
+    Stage names: ``universe_build``, ``crawl:all`` (every per-country porn
+    crawl plus the regular-web control), per-country ``crawl:<CC>`` detail
+    in sequential mode, and ``analysis:*`` for the downstream reports.
+    """
+    from repro import Study, UniverseConfig
+    from repro.reporting.tables import render_table2, render_table7
+    from repro.webgen.builder import build_universe
+
+    stages: dict = {}
+    clock = time.perf_counter
+
+    start = clock()
+    universe = build_universe(UniverseConfig(scale=scale))
+    stages["universe_build"] = clock() - start
+
+    study = Study(universe, parallelism=parallelism)
+    countries = list(countries)
+
+    start = clock()
+    if parallelism > 1:
+        # One batch: N porn crawls + the regular control, analyses included.
+        study.prefetch_crawls(countries)
+    else:
+        for country in countries:
+            country_start = clock()
+            study.porn_log(country)
+            stages[f"crawl:{country}"] = clock() - country_start
+        study.regular_log()
+    stages["crawl:all"] = clock() - start
+
+    start = clock()
+    table2 = study.table2()
+    render_table2(table2)
+    stages["analysis:table2"] = clock() - start
+
+    start = clock()
+    geo = study.geography(countries)
+    render_table7(geo)
+    stages["analysis:geography"] = clock() - start
+
+    start = clock()
+    reports = study.banner_reports(countries)
+    assert set(reports) == set(countries)
+    stages["analysis:banners"] = clock() - start
+
+    return {
+        "scale": scale,
+        "parallelism": parallelism,
+        "countries": countries,
+        "corpus_size": len(study.corpus_domains()),
+        "stages": {name: round(seconds, 4) for name, seconds in stages.items()},
+        "total_seconds": round(sum(
+            seconds for name, seconds in stages.items()
+            if not name.startswith("crawl:") or name == "crawl:all"
+        ), 4),
+    }
+
+
+# --------------------------------------------------------------------------
+# Orchestrator: one subprocess per configuration, merged JSON at repo root.
+# --------------------------------------------------------------------------
+
+def _run_config_isolated(scale: float, parallelism: int) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    command = [
+        sys.executable, str(pathlib.Path(__file__).resolve()),
+        "--scale", str(scale), "--parallelism", str(parallelism), "--json",
+    ]
+    result = subprocess.run(command, env=env, capture_output=True, text=True)
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"benchmark child (parallelism={parallelism}) failed:\n"
+            f"{result.stderr}"
+        )
+    return json.loads(result.stdout)
+
+
+def run_benchmark(scale: float, parallelism_set=(1, 4),
+                  output_path: pathlib.Path = OUTPUT_PATH) -> dict:
+    runs = [_run_config_isolated(scale, p) for p in parallelism_set]
+    document = {
+        "schema": SCHEMA,
+        "scale": scale,
+        "cpu_count": os.cpu_count(),
+        "countries": list(DEFAULT_COUNTRIES),
+        "runs": runs,
+    }
+    baseline = next((r for r in runs if r["parallelism"] == 1), None)
+    if baseline is not None:
+        for run in runs:
+            if run["parallelism"] != 1 and run["total_seconds"] > 0:
+                document[f"speedup_x{run['parallelism']}"] = round(
+                    baseline["total_seconds"] / run["total_seconds"], 2
+                )
+    output_path.write_text(json.dumps(document, indent=2) + "\n")
+    return document
+
+
+# --------------------------------------------------------------------------
+# pytest entry point (plain test; no pytest-benchmark dependency).
+# --------------------------------------------------------------------------
+
+def test_perf_pipeline():
+    scale = float(os.environ.get("REPRO_PERF_SCALE", "0.05"))
+    document = run_benchmark(scale)
+    assert OUTPUT_PATH.exists()
+    assert document["schema"] == SCHEMA
+    assert {run["parallelism"] for run in document["runs"]} == {1, 4}
+    for run in document["runs"]:
+        assert run["stages"]["universe_build"] > 0
+        assert run["stages"]["crawl:all"] > 0
+        assert run["total_seconds"] > 0
+    print(json.dumps(document, indent=2))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float,
+                        default=float(os.environ.get("REPRO_PERF_SCALE",
+                                                     "0.2")))
+    parser.add_argument("--parallelism", type=int, default=None,
+                        help="child mode: time this one configuration")
+    parser.add_argument("--parallelism-set", default="1,4",
+                        help="orchestrator mode: comma-separated settings")
+    parser.add_argument("--json", action="store_true",
+                        help="child mode: print the run as JSON to stdout")
+    args = parser.parse_args()
+
+    if args.parallelism is not None:
+        run = run_pipeline(args.scale, args.parallelism)
+        if args.json:
+            print(json.dumps(run))
+        else:
+            print(json.dumps(run, indent=2))
+        return
+
+    settings = tuple(int(p) for p in args.parallelism_set.split(","))
+    document = run_benchmark(args.scale, settings)
+    print(json.dumps(document, indent=2))
+    print(f"\nwrote {OUTPUT_PATH}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..html.dom import Element
-from ..html.parser import parse_html
+from ..html.parser import parse_html_cached
 from ..js.runtime import execute_script
 from ..net.cookies import CookieJar
 from ..net.http import Headers, Request, Response
@@ -230,7 +230,9 @@ class Browser:
         if not response.ok or "text/html" not in response.content_type:
             return visit
 
-        document = parse_html(response.body)
+        # The tree is only iterated (never mutated), so the shared
+        # content-hash parse cache is safe here.
+        document = parse_html_cached(response.body)
         self._load_subresources(document, page_url=final_url,
                                 page_domain=site_domain, depth=0)
         return visit
@@ -263,7 +265,7 @@ class Browser:
                     self._execute_script(url, page_domain=page_domain,
                                          page_url_text=page_url_text)
                 elif resource_type == "sub_frame" and depth < 1:
-                    frame_doc = parse_html(response.body)
+                    frame_doc = parse_html_cached(response.body)
                     self._load_subresources(frame_doc, page_url=url,
                                             page_domain=page_domain,
                                             depth=depth + 1)

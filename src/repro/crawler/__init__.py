@@ -1,5 +1,13 @@
-"""Crawlers: OpenWPM-style measurement, Selenium-style interaction, VPNs."""
+"""Crawlers: OpenWPM-style measurement, Selenium-style interaction, VPNs,
+and the parallel multi-vantage crawl executor."""
 
+from .executor import (
+    CrawlExecutionError,
+    CrawlExecutor,
+    CrawlOutcome,
+    CrawlSpec,
+    default_parallelism,
+)
 from .openwpm import OpenWPMCrawler
 from .selenium import (
     AgeGateObservation,
@@ -11,6 +19,11 @@ from .selenium import (
 from .vpn import VantagePointManager, client_for
 
 __all__ = [
+    "CrawlExecutionError",
+    "CrawlExecutor",
+    "CrawlOutcome",
+    "CrawlSpec",
+    "default_parallelism",
     "OpenWPMCrawler",
     "AgeGateObservation",
     "PolicyObservation",

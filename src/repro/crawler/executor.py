@@ -1,0 +1,304 @@
+"""Parallel execution of independent crawls (§3.1 and §6 at scale).
+
+The study's crawls are embarrassingly parallel: every crawl owns its
+cookie jar and its vantage point, so the six per-country porn crawls,
+the regular-web control crawl, and any auxiliary (banner) crawls never
+share state.  :class:`CrawlExecutor` fans those whole crawls out across
+a worker pool while keeping each crawl strictly sequential inside — the
+paper's single-session design (cookie syncing needs one live jar) is
+preserved, which is what makes a parallel run bit-identical to the
+sequential one.
+
+Backends
+--------
+
+``process`` (default on POSIX)
+    Forked worker processes inherit the immutable :class:`Universe` by
+    copy-on-write; only the compact :class:`CrawlOutcome` results cross
+    the process boundary.  This sidesteps the GIL for the CPU-bound
+    page-render/parse loop.
+``thread``
+    Fallback where ``fork`` is unavailable.  Correct (crawls share no
+    mutable state; the universe caches are thread-safe) but bounded by
+    the GIL.
+``serial``
+    Used automatically for ``parallelism=1`` or single-spec batches;
+    runs inline and reproduces the historical sequential behavior
+    exactly, including evaluation order.
+
+Failures inside a worker are returned as values, not raised, so one bad
+crawl can never wedge the pool: every submitted spec completes, and the
+executor then raises :class:`CrawlExecutionError` for the first failed
+spec in input order, carrying the worker's traceback text.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..browser.events import CrawlLog
+from ..core.ats import ATSClassifier, ATSResult
+from ..core.malware import MalwareReport, analyze_malware
+from ..core.partylabel import PartyLabels, label_parties
+from ..webgen.universe import Universe
+from .openwpm import OpenWPMCrawler
+from .vpn import VantagePointManager
+
+__all__ = [
+    "ANALYSIS_ATS",
+    "ANALYSIS_LABELS",
+    "ANALYSIS_MALWARE",
+    "CrawlExecutionError",
+    "CrawlExecutor",
+    "CrawlOutcome",
+    "CrawlSpec",
+    "default_parallelism",
+]
+
+#: Per-crawl analyses a worker can run before shipping results back.
+#: Each is a pure function of (log, universe), so running it next to the
+#: crawl costs nothing in determinism and saves serializing + re-walking
+#: the log in the parent.
+ANALYSIS_LABELS = "labels"
+ANALYSIS_ATS = "ats"
+ANALYSIS_MALWARE = "malware"
+
+_KNOWN_ANALYSES = frozenset({ANALYSIS_LABELS, ANALYSIS_ATS, ANALYSIS_MALWARE})
+
+
+def default_parallelism() -> int:
+    """The executor's default worker count (``os.cpu_count()``)."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class CrawlSpec:
+    """One independent crawl: what to visit, from where, and what to derive.
+
+    ``key`` identifies the crawl in results and errors; result ordering
+    follows the order specs were submitted in, regardless of which
+    worker finishes first.
+    """
+
+    key: str
+    country: str
+    domains: Tuple[str, ...]
+    keep_html: bool = True
+    epoch: str = "crawl"
+    analyses: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        unknown = set(self.analyses) - _KNOWN_ANALYSES
+        if unknown:
+            raise ValueError(f"unknown analyses: {sorted(unknown)}")
+
+
+@dataclass
+class CrawlOutcome:
+    """Everything one worker produced for one :class:`CrawlSpec`."""
+
+    key: str
+    country: str
+    log: CrawlLog
+    labels: Optional[PartyLabels] = None
+    ats: Optional[ATSResult] = None
+    malware: Optional[MalwareReport] = None
+
+
+@dataclass(frozen=True)
+class _WorkerFailure:
+    """A crawl failure shipped back as a value (never raised in-pool)."""
+
+    key: str
+    country: str
+    message: str
+    worker_traceback: str
+
+
+class CrawlExecutionError(RuntimeError):
+    """A crawl failed inside the executor.
+
+    Carries which crawl broke (``key``, ``country``) and the worker-side
+    traceback so a multi-process failure is as debuggable as an inline
+    one.
+    """
+
+    def __init__(self, key: str, country: str, message: str,
+                 worker_traceback: str = "") -> None:
+        detail = f"crawl {key!r} (country {country}) failed: {message}"
+        if worker_traceback:
+            detail += f"\n--- worker traceback ---\n{worker_traceback}"
+        super().__init__(detail)
+        self.key = key
+        self.country = country
+        self.message = message
+        self.worker_traceback = worker_traceback
+
+
+@dataclass
+class _WorkerContext:
+    """Everything a worker needs; inherited via fork, shared via threads."""
+
+    universe: Universe
+    vantage_points: VantagePointManager
+    classifier: Optional[ATSClassifier] = None
+
+
+#: Set by the parent immediately before spawning a fork-based pool so
+#: children inherit it by copy-on-write (nothing large is ever pickled).
+_FORK_CONTEXT: Optional[_WorkerContext] = None
+
+
+def _execute_spec(context: _WorkerContext,
+                  spec: CrawlSpec) -> Union[CrawlOutcome, _WorkerFailure]:
+    """Run one crawl plus its requested analyses; never raises."""
+    try:
+        crawler = OpenWPMCrawler(
+            context.universe,
+            context.vantage_points.point(spec.country),
+            epoch=spec.epoch,
+            keep_html=spec.keep_html,
+        )
+        log = crawler.crawl(list(spec.domains))
+        outcome = CrawlOutcome(key=spec.key, country=spec.country, log=log)
+        wants = set(spec.analyses)
+        if wants & {ANALYSIS_LABELS, ANALYSIS_ATS, ANALYSIS_MALWARE}:
+            outcome.labels = label_parties(
+                log, cert_lookup=context.universe.certificate_for
+            )
+        if ANALYSIS_ATS in wants:
+            if context.classifier is None:
+                raise RuntimeError("ATS analysis requested without a classifier")
+            outcome.ats = context.classifier.classify_log(
+                log, third_party_fqdns=outcome.labels.all_third_party_fqdns
+            )
+        if ANALYSIS_MALWARE in wants:
+            outcome.malware = analyze_malware(
+                log,
+                outcome.labels,
+                lambda domain: context.universe.scanner_hits(domain, spec.country),
+            )
+        return outcome
+    except Exception as exc:
+        return _WorkerFailure(
+            key=spec.key,
+            country=spec.country,
+            message=f"{type(exc).__name__}: {exc}",
+            worker_traceback=traceback.format_exc(),
+        )
+
+
+def _execute_forked(spec: CrawlSpec) -> Union[CrawlOutcome, _WorkerFailure]:
+    """Entry point inside a forked worker: read the inherited context."""
+    context = _FORK_CONTEXT
+    if context is None:  # pragma: no cover - defensive
+        return _WorkerFailure(spec.key, spec.country,
+                              "worker context missing (fork misconfigured)", "")
+    return _execute_spec(context, spec)
+
+
+class CrawlExecutor:
+    """Fans independent crawls out across a worker pool.
+
+    Deterministic by construction: results come back in submission
+    order, each crawl is internally sequential, and every analysis a
+    worker runs is a pure function of its own crawl log.
+    """
+
+    def __init__(
+        self,
+        universe: Universe,
+        vantage_points: VantagePointManager,
+        *,
+        parallelism: Optional[int] = None,
+        backend: Optional[str] = None,
+        classifier: Optional[ATSClassifier] = None,
+    ) -> None:
+        if backend not in (None, "process", "thread", "serial"):
+            raise ValueError(f"unknown backend: {backend!r}")
+        self.universe = universe
+        self.vantage_points = vantage_points
+        self.parallelism = max(1, int(parallelism or default_parallelism()))
+        self.backend = backend
+        self._classifier = classifier
+
+    # ------------------------------------------------------------------
+
+    def _resolve_backend(self, spec_count: int) -> str:
+        if self.parallelism == 1 or spec_count <= 1:
+            return "serial"
+        if self.backend is not None and self.backend != "process":
+            return self.backend
+        if "fork" in multiprocessing.get_all_start_methods():
+            return "process"
+        # No fork (e.g. Windows): pickling the whole universe per worker
+        # would dwarf the crawl itself, so degrade to threads.
+        return "thread" if self.backend is None else "thread"
+
+    def _context_for(self, specs: Sequence[CrawlSpec]) -> _WorkerContext:
+        classifier = self._classifier
+        if classifier is None and any(
+            ANALYSIS_ATS in spec.analyses for spec in specs
+        ):
+            # Built once in the parent, pre-fork, so every worker shares
+            # the compiled filter lists by copy-on-write.
+            classifier = ATSClassifier.from_texts(
+                self.universe.easylist_text, self.universe.easyprivacy_text
+            )
+            self._classifier = classifier
+        return _WorkerContext(self.universe, self.vantage_points, classifier)
+
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Iterable[CrawlSpec]) -> List[CrawlOutcome]:
+        """Execute every spec; return outcomes in submission order.
+
+        Raises :class:`CrawlExecutionError` for the first (in submission
+        order) spec whose crawl failed, after the whole batch has
+        drained — the pool never deadlocks on a poisoned spec.
+        """
+        spec_list = list(specs)
+        keys = [spec.key for spec in spec_list]
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate crawl spec keys")
+        if not spec_list:
+            return []
+
+        backend = self._resolve_backend(len(spec_list))
+        context = self._context_for(spec_list)
+        workers = min(self.parallelism, len(spec_list))
+
+        if backend == "serial":
+            results = [_execute_spec(context, spec) for spec in spec_list]
+        elif backend == "thread":
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(
+                    pool.map(lambda spec: _execute_spec(context, spec), spec_list)
+                )
+        else:
+            results = self._run_forked(context, spec_list, workers)
+
+        for result in results:
+            if isinstance(result, _WorkerFailure):
+                raise CrawlExecutionError(result.key, result.country,
+                                          result.message,
+                                          result.worker_traceback)
+        return results
+
+    def _run_forked(
+        self, context: _WorkerContext, specs: Sequence[CrawlSpec], workers: int
+    ) -> List[Union[CrawlOutcome, _WorkerFailure]]:
+        global _FORK_CONTEXT
+        mp_context = multiprocessing.get_context("fork")
+        _FORK_CONTEXT = context
+        try:
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=mp_context) as pool:
+                return list(pool.map(_execute_forked, specs))
+        finally:
+            _FORK_CONTEXT = None

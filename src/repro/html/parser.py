@@ -10,9 +10,10 @@ from __future__ import annotations
 from html.parser import HTMLParser
 from typing import Dict, List, Optional, Tuple
 
+from ..cache import BoundedCache, content_key
 from .dom import Element, VOID_TAGS
 
-__all__ = ["parse_html"]
+__all__ = ["parse_html", "parse_html_cached"]
 
 #: Elements whose open instance is implicitly closed by a sibling of the
 #: same tag (enough recovery for the generator's output and common HTML).
@@ -73,3 +74,22 @@ def parse_html(markup: str) -> Element:
     builder.feed(markup)
     builder.close()
     return builder.root
+
+
+#: Parse cache keyed on content hash.  Third-party payloads (ad frames,
+#: bidder scripts' HTML wrappers) repeat thousands of times per crawl;
+#: parsing each distinct payload once removes the single hottest item in
+#: the crawl profile.
+_PARSE_CACHE = BoundedCache(maxsize=8_192)
+
+
+def parse_html_cached(markup: str) -> Element:
+    """Memoized :func:`parse_html`, keyed on a hash of ``markup``.
+
+    The returned tree is shared between all callers with identical
+    markup and MUST be treated as read-only.  Use plain
+    :func:`parse_html` when the caller mutates the tree.
+    """
+    return _PARSE_CACHE.get_or_create(
+        content_key(markup), lambda: parse_html(markup)
+    )

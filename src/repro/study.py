@@ -15,6 +15,7 @@ Typical use::
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .browser.events import CrawlLog
@@ -50,6 +51,15 @@ from .core.malware import MalwareReport, analyze_malware
 from .core.owners import OwnerReport, discover_owners
 from .core.partylabel import PartyLabels, label_parties
 from .core.popularity import PopularityReport, analyze_popularity
+from .crawler.executor import (
+    ANALYSIS_ATS,
+    ANALYSIS_LABELS,
+    ANALYSIS_MALWARE,
+    CrawlExecutor,
+    CrawlOutcome,
+    CrawlSpec,
+    default_parallelism,
+)
 from .crawler.openwpm import OpenWPMCrawler
 from .crawler.selenium import SeleniumCrawler, SiteInspection
 from .crawler.vpn import VantagePointManager
@@ -70,21 +80,62 @@ class Study:
         *,
         vantage_points: Optional[VantagePointManager] = None,
         home_country: str = "ES",
+        parallelism: Optional[int] = None,
     ) -> None:
+        """``parallelism`` bounds how many independent crawls run at once
+        (default ``os.cpu_count()``).  ``parallelism=1`` reproduces the
+        historical strictly-sequential evaluation order exactly; any
+        value produces bit-identical results, because only whole crawls
+        (each owning its cookie jar) and pure per-log analyses fan out.
+        """
         self.universe = universe
         self.vantage_points = vantage_points or VantagePointManager()
         self.home_country = home_country
+        self.parallelism = max(1, int(parallelism or default_parallelism()))
         self._cache: Dict[str, object] = {}
+        self._cache_lock = threading.Lock()
+        self._key_locks: Dict[str, threading.Lock] = {}
 
     @classmethod
-    def build(cls, config: Optional[UniverseConfig] = None) -> "Study":
+    def build(
+        cls,
+        config: Optional[UniverseConfig] = None,
+        *,
+        parallelism: Optional[int] = None,
+    ) -> "Study":
         """Construct the universe and wrap it in a study."""
-        return cls(build_universe(config or UniverseConfig()))
+        return cls(build_universe(config or UniverseConfig()),
+                   parallelism=parallelism)
 
     def _memo(self, key: str, factory):
-        if key not in self._cache:
-            self._cache[key] = factory()
-        return self._cache[key]
+        """Thread-safe memoization: one factory run per key, ever.
+
+        Concurrent table calls may race on the cache now that crawls fan
+        out; a per-key lock serializes the factory while leaving
+        unrelated keys free to compute in parallel.
+        """
+        with self._cache_lock:
+            if key in self._cache:
+                return self._cache[key]
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._cache_lock:
+                if key in self._cache:
+                    return self._cache[key]
+            value = factory()
+            with self._cache_lock:
+                self._cache[key] = value
+                self._key_locks.pop(key, None)
+            return value
+
+    def _memo_seed(self, key: str, value) -> None:
+        """Store a precomputed value unless the key is already cached."""
+        with self._cache_lock:
+            self._cache.setdefault(key, value)
+
+    def _memoized(self, key: str) -> bool:
+        with self._cache_lock:
+            return key in self._cache
 
     # ------------------------------------------------------------------
     # Section 3: corpus
@@ -118,12 +169,14 @@ class Study:
 
     def porn_log(self, country: Optional[str] = None) -> CrawlLog:
         country = country or self.home_country
-        keep_html = country == self.home_country
 
         def crawl() -> CrawlLog:
+            # HTML is kept for every country so one crawl serves both the
+            # geography analyses and the banner detector (§6 + §7.1 share
+            # the crawl instead of re-crawling with a throwaway session).
             crawler = OpenWPMCrawler(
                 self.universe, self.vantage_points.point(country),
-                keep_html=keep_html,
+                keep_html=True,
             )
             return crawler.crawl(self.corpus_domains())
 
@@ -138,6 +191,89 @@ class Study:
             return crawler.crawl(self.universe.reference_regular_corpus())
 
         return self._memo("regular_log", crawl)
+
+    # -- parallel crawl fan-out -----------------------------------------
+
+    _REGULAR_KEY = "regular"
+
+    def _executor(self) -> CrawlExecutor:
+        return CrawlExecutor(
+            self.universe,
+            self.vantage_points,
+            parallelism=self.parallelism,
+            classifier=self._cache.get("ats_classifier"),
+        )
+
+    def _porn_spec(self, country: str,
+                   analyses: Sequence[str] = ()) -> CrawlSpec:
+        return CrawlSpec(
+            key=f"porn:{country}",
+            country=country,
+            domains=tuple(self.corpus_domains()),
+            keep_html=True,
+            analyses=tuple(analyses),
+        )
+
+    def _regular_spec(self, analyses: Sequence[str] = ()) -> CrawlSpec:
+        return CrawlSpec(
+            key=self._REGULAR_KEY,
+            country=self.home_country,
+            domains=tuple(self.universe.reference_regular_corpus()),
+            keep_html=False,
+            analyses=tuple(analyses),
+        )
+
+    def _seed_outcome(self, outcome: CrawlOutcome) -> None:
+        """Adopt a worker's results into the memo (first write wins)."""
+        if outcome.key == self._REGULAR_KEY:
+            self._memo_seed("regular_log", outcome.log)
+            if outcome.labels is not None:
+                self._memo_seed("regular_labels", outcome.labels)
+            if outcome.ats is not None:
+                self._memo_seed("regular_ats", outcome.ats)
+            return
+        country = outcome.country
+        self._memo_seed(f"porn_log:{country}", outcome.log)
+        if outcome.labels is not None:
+            self._memo_seed(f"porn_labels:{country}", outcome.labels)
+        if outcome.ats is not None:
+            self._memo_seed(f"porn_ats:{country}", outcome.ats)
+        if outcome.malware is not None:
+            self._memo_seed(f"malware:{country}", outcome.malware)
+
+    def prefetch_crawls(
+        self,
+        countries: Optional[Sequence[str]] = None,
+        *,
+        include_regular: bool = True,
+        analyses: Sequence[str] = (ANALYSIS_LABELS, ANALYSIS_ATS,
+                                   ANALYSIS_MALWARE),
+    ) -> None:
+        """Run every not-yet-cached crawl ``parallelism``-wide.
+
+        Results land in the memo exactly as if the corresponding
+        sequential accessors had produced them (they are bit-identical:
+        each crawl is internally sequential and owns its cookie jar).
+        With ``parallelism=1`` this is a no-op and the lazy sequential
+        path runs untouched.
+        """
+        if self.parallelism <= 1:
+            return
+        specs: List[CrawlSpec] = []
+        for country in countries or self.vantage_points.country_codes:
+            if not self._memoized(f"porn_log:{country}"):
+                specs.append(self._porn_spec(country, analyses))
+        if include_regular and not self._memoized("regular_log"):
+            regular_analyses = tuple(
+                a for a in analyses if a in (ANALYSIS_LABELS, ANALYSIS_ATS)
+            )
+            specs.append(self._regular_spec(regular_analyses))
+        if len(specs) < 2:
+            return
+        if any(ANALYSIS_ATS in spec.analyses for spec in specs):
+            self.ats_classifier()  # build once, pre-fork, shared by workers
+        for outcome in self._executor().run(specs):
+            self._seed_outcome(outcome)
 
     def inspections(self) -> List[SiteInspection]:
         """Interaction-crawler pass over the whole corpus (home country)."""
@@ -222,6 +358,8 @@ class Study:
     # ------------------------------------------------------------------
 
     def table2(self) -> Table2:
+        self.prefetch_crawls(countries=[self.home_country],
+                             analyses=(ANALYSIS_LABELS, ANALYSIS_ATS))
         return self._memo(
             "table2",
             lambda: build_table2(
@@ -329,6 +467,9 @@ class Study:
         countries = tuple(countries or self.vantage_points.country_codes)
 
         def build() -> GeoReport:
+            # All per-country crawls (plus the regular control) are
+            # independent; fan them out before the sequential assembly.
+            self.prefetch_crawls(countries)
             observations = {}
             for country in countries:
                 observations[country] = CountryObservation(
@@ -352,17 +493,21 @@ class Study:
         country = country or self.home_country
 
         def build() -> BannerReport:
-            if country == self.home_country:
-                log = self.porn_log()
-            else:
-                crawler = OpenWPMCrawler(
-                    self.universe, self.vantage_points.point(country),
-                    keep_html=True,
-                )
-                log = crawler.crawl(self.corpus_domains())
+            # Routed through the shared crawl memo: geography and banner
+            # analysis for the same country crawl exactly once (the
+            # per-country logs keep HTML for the banner detector).
+            log = self.porn_log(country)
             return analyze_banners(log, corpus_size=len(self.corpus_domains()))
 
         return self._memo(f"banners:{country}", build)
+
+    def banner_reports(
+        self, countries: Sequence[str]
+    ) -> Dict[str, BannerReport]:
+        """Banner reports for several countries, crawling N-wide."""
+        self.prefetch_crawls(countries, include_regular=False,
+                             analyses=())
+        return {country: self.banners(country) for country in countries}
 
     def age_verification(
         self,

@@ -8,15 +8,32 @@ within similarity 0.7 of the host website's FQDN, grouping e.g.
 
 from __future__ import annotations
 
-from typing import Sequence
+import math
+from typing import Optional, Sequence
 
 __all__ = ["levenshtein_distance", "similarity", "domains_similar"]
 
 
-def levenshtein_distance(a: Sequence, b: Sequence) -> int:
-    """Classic dynamic-programming edit distance (insert/delete/substitute)."""
+def levenshtein_distance(
+    a: Sequence, b: Sequence, *, max_distance: Optional[int] = None
+) -> int:
+    """Classic dynamic-programming edit distance (insert/delete/substitute).
+
+    With ``max_distance`` set, the computation is banded: the exact
+    distance is returned whenever it is ``<= max_distance``, and
+    ``max_distance + 1`` as soon as the distance provably exceeds the
+    cutoff (length-difference prefilter, then row-minimum early abort).
+    The similarity threshold test only needs "is the distance within
+    budget", which makes most domain pairs exit after the prefilter.
+    """
     if len(a) < len(b):
         a, b = b, a
+    if max_distance is not None:
+        if max_distance < 0:
+            raise ValueError("max_distance must be >= 0")
+        # The distance is at least the length difference.
+        if len(a) - len(b) > max_distance:
+            return max_distance + 1
     if not b:
         return len(a)
     previous = list(range(len(b) + 1))
@@ -31,8 +48,15 @@ def levenshtein_distance(a: Sequence, b: Sequence) -> int:
                     previous[j - 1] + cost,  # substitution
                 )
             )
+        # Row minima are non-decreasing between rows, so once every cell
+        # exceeds the cutoff the final distance must too.
+        if max_distance is not None and min(current) > max_distance:
+            return max_distance + 1
         previous = current
-    return previous[-1]
+    distance = previous[-1]
+    if max_distance is not None and distance > max_distance:
+        return max_distance + 1
+    return distance
 
 
 def similarity(a: str, b: str) -> float:
@@ -58,4 +82,13 @@ def domains_similar(a: str, b: str, *, threshold: float = 0.7) -> bool:
         b = b[4:]
     if a == b:
         return True
-    return similarity(a, b) > threshold
+    # "similarity > threshold" only needs "distance < (1-threshold)*L";
+    # band the DP at ceil of that bound — any distance beyond it cannot
+    # pass, and within it the banded distance is exact, so the float
+    # comparison below is bit-identical to the unbanded implementation.
+    longest = max(len(a), len(b))
+    cutoff = max(0, math.ceil((1.0 - threshold) * longest))
+    distance = levenshtein_distance(a, b, max_distance=cutoff)
+    if distance > cutoff:
+        return False
+    return 1.0 - distance / longest > threshold

@@ -22,6 +22,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 import numpy as np
 
 from ..blocklists.disconnect import DisconnectEntry, DisconnectList
+from ..cache import FetchCache
 from ..js.runtime import CanvasBehavior, FontProbeBehavior, ScriptBehavior
 from ..net.dns import DNSResolver
 from ..net.geo import COUNTRIES, GeoIPDatabase, IPAllocator
@@ -163,6 +164,11 @@ class Universe:
         self._cdn_of_site = {site: cdn for cdn, site in site_cdns.items()}
         self._site_for_host: Dict[str, Tuple[str, str]] = {}
         self._build_routing()
+        #: Render cache: serving is a pure function of (URL, referrer,
+        #: client), so identical requests — the same ad pixel embedded on
+        #: the same page, a bidder script recurring across frames — are
+        #: served from memory.  Deterministic failures are cached too.
+        self.fetch_cache = FetchCache(maxsize=200_000)
 
     # ------------------------------------------------------------------
     # Routing / DNS
@@ -266,7 +272,20 @@ class Universe:
     # ------------------------------------------------------------------
 
     def fetch(self, request: Request, client: ClientContext) -> Response:
-        """Serve one HTTP request from the given client."""
+        """Serve one HTTP request from the given client (memoized).
+
+        Responses depend only on the URL, the ``Referer`` header, and the
+        client context — never on request cookies — so the render cache
+        key captures the full input space and hits are bit-identical to
+        recomputation.
+        """
+        key = (str(request.url), request.referrer, client.country_code,
+               client.client_ip, client.epoch)
+        return self.fetch_cache.fetch(
+            key, lambda: self._fetch_uncached(request, client)
+        )
+
+    def _fetch_uncached(self, request: Request, client: ClientContext) -> Response:
         host = request.url.host
         base = registrable_domain(host)
 

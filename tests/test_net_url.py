@@ -128,3 +128,72 @@ class TestHelpers:
     def test_origin_triple(self):
         url = parse_url("https://a.com/x")
         assert url.origin == ("https", "a.com", 443)
+
+
+class TestCachedParsingAgreement:
+    """The lru_cache layers must be pure memoization: cached and uncached
+    results agree on every input, including tricky multi-label suffixes."""
+
+    TRICKY_HOSTS = [
+        "a.b.example.co.uk",   # multi-label suffix, deep subdomain
+        "example.co.uk",       # eTLD+1 exactly
+        "co.uk",               # bare multi-label suffix
+        "uk",                  # bare single-label suffix
+        "cdn.x.com.ru",        # multi-label suffix with subdomain
+        "x.com.ru",
+        "video.ads.example.com",
+        "example.com",
+        "com",
+        "tracker.example.unknowntld",   # unknown TLD fallback
+        "unknowntld",                   # single unknown label
+        "WWW.Example.CO.UK.",           # case + trailing dot normalization
+        "a.co.in",
+        "b.com.sg",
+        "deep.sub.domain.example.party",
+    ]
+
+    def test_registrable_domain_cached_equals_uncached(self):
+        from repro.net.url import _suffix_of
+
+        registrable_domain.cache_clear()
+        _suffix_of.cache_clear()
+        for host in self.TRICKY_HOSTS:
+            cached = registrable_domain(host)
+            uncached = registrable_domain.__wrapped__(host)
+            assert cached == uncached, host
+            # A second call (guaranteed cache hit) still agrees.
+            assert registrable_domain(host) == uncached, host
+
+    def test_suffix_of_cached_equals_uncached(self):
+        from repro.net.url import _suffix_of
+
+        _suffix_of.cache_clear()
+        for host in self.TRICKY_HOSTS:
+            normalized = host.lower().rstrip(".")
+            assert _suffix_of(normalized) == \
+                _suffix_of.__wrapped__(normalized), host
+
+    def test_parse_url_cached_equals_uncached(self):
+        from repro.net.url import _parse_url_cached
+
+        urls = [
+            "https://a.b.example.co.uk/path?x=1#f",
+            "http://cdn.x.com.ru:8080/asset.js",
+            "//protocol.relative.com/x",
+            "bare-domain.co.uk",
+            "wss://socket.example.com/live",
+        ]
+        _parse_url_cached.cache_clear()
+        for raw in urls:
+            cached = parse_url(raw)
+            uncached = _parse_url_cached.__wrapped__(raw, "https")
+            assert cached == uncached, raw
+            assert parse_url(raw) is cached, raw  # hit returns shared instance
+
+    def test_invalid_urls_still_raise(self):
+        for raw in ["", "https://", "https://bad:port:x/",
+                    "ftp://example.com/", "https://exa mple.com/"]:
+            with pytest.raises(URLError):
+                parse_url(raw)
+            with pytest.raises(URLError):
+                parse_url(raw)  # exceptions are not cached; raise every time

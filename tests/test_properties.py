@@ -171,3 +171,70 @@ class TestSyncTokenProperties:
         tokens = set(_url_tokens(url))
         for value in params.values():
             assert value in tokens
+
+
+def _exact_levenshtein(a, b):
+    """Reference unbanded DP, independent of the production implementation."""
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1,
+                               previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+class TestBandedLevenshteinProperties:
+    """Satellite: the banded DP must agree with the exact DP — exact when
+    the distance is within the band, ``max_distance + 1`` when beyond."""
+
+    @given(st.text(max_size=25), st.text(max_size=25),
+           st.integers(min_value=0, max_value=30))
+    def test_banded_agrees_with_exact_dp(self, a, b, k):
+        exact = _exact_levenshtein(a, b)
+        banded = levenshtein_distance(a, b, max_distance=k)
+        if exact <= k:
+            assert banded == exact
+        else:
+            assert banded == k + 1
+
+    @given(st.text(max_size=25), st.text(max_size=25))
+    def test_unbanded_agrees_with_exact_dp(self, a, b):
+        assert levenshtein_distance(a, b) == _exact_levenshtein(a, b)
+
+    @given(st.text(max_size=25), st.text(max_size=25))
+    def test_zero_band_is_equality_test(self, a, b):
+        banded = levenshtein_distance(a, b, max_distance=0)
+        assert (banded == 0) == (a == b)
+
+    def test_negative_band_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            levenshtein_distance("a", "b", max_distance=-1)
+
+    @given(hostname, hostname)
+    def test_domains_similar_matches_unbanded_formula(self, a, b):
+        from repro.text.levenshtein import domains_similar
+
+        def reference(x, y, threshold=0.7):
+            x, y = x.lower(), y.lower()
+            if x.startswith("www."):
+                x = x[4:]
+            if y.startswith("www."):
+                y = y[4:]
+            if x == y:
+                return True
+            return similarity(x, y) > threshold
+
+        assert domains_similar(a, b) == reference(a, b)
+
+    @given(hostname)
+    def test_domains_similar_www_invariant(self, host):
+        from repro.text.levenshtein import domains_similar
+
+        assert domains_similar("www." + host, host)
