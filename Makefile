@@ -2,7 +2,7 @@ PYTHON ?= python
 SCALE ?= 0.2
 export PYTHONPATH := src
 
-.PHONY: test bench profile
+.PHONY: test bench bench-quick profile
 
 ## Run the tier-1 test suite.
 test:
@@ -12,6 +12,12 @@ test:
 ## BENCH_pipeline.json at the repo root (each config in its own process).
 bench:
 	$(PYTHON) benchmarks/test_perf_pipeline.py --scale $(SCALE)
+
+## Fast sequential-only bench smoke (used by CI): scale 0.02, parallelism 1.
+## Writes BENCH_quick.json so the checked-in BENCH_pipeline.json stays put.
+bench-quick:
+	$(PYTHON) benchmarks/test_perf_pipeline.py --scale 0.02 \
+		--parallelism-set 1 --output BENCH_quick.json
 
 ## Profile one sequential pipeline run and print the top-20 functions by
 ## total own time.

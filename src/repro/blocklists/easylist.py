@@ -61,6 +61,11 @@ class FilterRule:
     resource_types: Optional[Set[str]] = None
     include_domains: Optional[Set[str]] = None
     exclude_domains: Optional[Set[str]] = None
+    #: The ABP pattern body the regex was compiled from, plus its anchors —
+    #: kept so the token index can extract guaranteed substrings.
+    pattern_text: Optional[str] = None
+    start_anchor: bool = False
+    end_anchor: bool = False
 
     def matches(self, url: URL, context: MatchContext) -> bool:
         """Evaluate this rule against a request URL and its context."""
@@ -182,9 +187,79 @@ def parse_rule(line: str) -> Optional[FilterRule]:
         line = line[:-1]
     rule.pattern = _compile_pattern(line, start_anchor=start_anchor,
                                     end_anchor=end_anchor)
+    rule.pattern_text = line
+    rule.start_anchor = start_anchor
+    rule.end_anchor = end_anchor
     if rule.pattern is None and rule.anchor_domain is None:
         return None
     return rule
+
+
+# ---------------------------------------------------------------------------
+# Token index (Adblock-Plus style)
+# ---------------------------------------------------------------------------
+
+#: Characters that form a token both in filter patterns and in URLs.
+_TOKEN_RE = re.compile(r"[a-zA-Z0-9%]+")
+
+
+def _safe_tokens(body: str, *, start_anchor: bool, end_anchor: bool) -> List[str]:
+    """Literal substrings every matching URL must contain as *whole* tokens.
+
+    A run of token characters in the pattern body is safe to index on only
+    when both its edges are known non-token characters in any matching URL:
+    a literal separator, an ABP ``^`` placeholder, or a ``|`` anchor.  Runs
+    touching a ``*`` wildcard or an unanchored pattern edge may continue
+    into neighbouring token characters of the URL (``ads`` matching inside
+    ``loads.js``) and are skipped.
+    """
+    tokens: List[str] = []
+    for segment_index, segment in enumerate(body.split("*")):
+        first_segment = segment_index == 0
+        last_segment = segment_index == body.count("*")
+        for match in _TOKEN_RE.finditer(segment):
+            left_safe = match.start() > 0 or (first_segment and start_anchor)
+            right_safe = match.end() < len(segment) or (last_segment and end_anchor)
+            if left_safe and right_safe:
+                tokens.append(match.group())
+    return tokens
+
+
+class _TokenIndex:
+    """Maps one representative token per rule to its candidate list.
+
+    Rules without a safe token land in the always-checked bucket, so the
+    candidate set is a superset of the matching set and evaluating every
+    candidate with :meth:`FilterRule.matches` reproduces the linear scan
+    exactly.
+    """
+
+    def __init__(self) -> None:
+        self._by_token: Dict[str, List[FilterRule]] = {}
+        self._no_token: List[FilterRule] = []
+
+    def add(self, rule: FilterRule) -> None:
+        tokens = ()
+        if rule.pattern_text is not None:
+            tokens = _safe_tokens(rule.pattern_text,
+                                  start_anchor=rule.start_anchor,
+                                  end_anchor=rule.end_anchor)
+        if not tokens:
+            self._no_token.append(rule)
+            return
+        # Prefer the rarest token so far (longest as tie-break): candidate
+        # lists stay short even when many rules share a common prefix.
+        best = min(tokens, key=lambda t: (len(self._by_token.get(t, ())), -len(t)))
+        self._by_token.setdefault(best, []).append(rule)
+
+    def candidates(self, url_text: str) -> Iterable[FilterRule]:
+        yield from self._no_token
+        if not self._by_token:
+            return
+        for token in dict.fromkeys(_TOKEN_RE.findall(url_text)):
+            rules = self._by_token.get(token)
+            if rules:
+                yield from rules
 
 
 class FilterList:
@@ -193,7 +268,10 @@ class FilterList:
     def __init__(self, rules: Iterable[FilterRule] = ()) -> None:
         self._block_by_domain: Dict[str, List[FilterRule]] = {}
         self._block_generic: List[FilterRule] = []
+        self._block_index = _TokenIndex()
         self._exceptions: List[FilterRule] = []
+        self._exc_by_domain: Dict[str, List[FilterRule]] = {}
+        self._exc_index = _TokenIndex()
         self._size = 0
         for rule in rules:
             self.add_rule(rule)
@@ -211,12 +289,18 @@ class FilterList:
         self._size += 1
         if rule.is_exception:
             self._exceptions.append(rule)
+            if rule.anchor_domain is not None:
+                key = registrable_domain(rule.anchor_domain)
+                self._exc_by_domain.setdefault(key, []).append(rule)
+            else:
+                self._exc_index.add(rule)
             return
         if rule.anchor_domain is not None:
             key = registrable_domain(rule.anchor_domain)
             self._block_by_domain.setdefault(key, []).append(rule)
         else:
             self._block_generic.append(rule)
+            self._block_index.add(rule)
 
     def __len__(self) -> int:
         return self._size
@@ -226,7 +310,39 @@ class FilterList:
         yield from self._block_generic
 
     def matches(self, url, context: Optional[MatchContext] = None) -> bool:
-        """True if the request would be blocked (exceptions honored)."""
+        """True if the request would be blocked (exceptions honored).
+
+        Candidate rules come from a token index (domain-anchored rules by
+        the host's registrable domain, generic rules by URL substring
+        tokens), so the scan touches a handful of rules per URL instead of
+        the whole list; :meth:`matches_linear` keeps the exhaustive scan
+        for parity testing.
+        """
+        if not isinstance(url, URL):
+            url = parse_url(str(url))
+        context = context or MatchContext()
+        url_text = str(url)
+        blocked = any(
+            rule.matches(url, context)
+            for rule in self._indexed_block_candidates(url, url_text)
+        )
+        if not blocked:
+            return False
+        return not any(
+            rule.matches(url, context)
+            for rule in self._indexed_exception_candidates(url, url_text)
+        )
+
+    def _indexed_block_candidates(self, url: URL, url_text: str) -> Iterable[FilterRule]:
+        yield from self._block_by_domain.get(registrable_domain(url.host), ())
+        yield from self._block_index.candidates(url_text)
+
+    def _indexed_exception_candidates(self, url: URL, url_text: str) -> Iterable[FilterRule]:
+        yield from self._exc_by_domain.get(registrable_domain(url.host), ())
+        yield from self._exc_index.candidates(url_text)
+
+    def matches_linear(self, url, context: Optional[MatchContext] = None) -> bool:
+        """The pre-index exhaustive scan; reference semantics for tests."""
         if not isinstance(url, URL):
             url = parse_url(str(url))
         context = context or MatchContext()

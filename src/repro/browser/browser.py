@@ -36,6 +36,16 @@ _RESOURCE_TAGS = (
     ("link", "href", "stylesheet"),
 )
 
+#: Render-manifest kinds in fetch order, mapped to request resource types.
+#: The order mirrors ``_RESOURCE_TAGS`` so manifest-driven loads fetch in
+#: exactly the sequence the parse-driven path always used.
+_MANIFEST_KINDS = (
+    ("script", "script"),
+    ("img", "image"),
+    ("iframe", "sub_frame"),
+    ("link", "stylesheet"),
+)
+
 
 class Browser:
     """An instrumented browser bound to one vantage point."""
@@ -48,11 +58,17 @@ class Browser:
         log: Optional[CrawlLog] = None,
         keep_html: bool = True,
         request_filter=None,
+        use_manifest: bool = True,
     ) -> None:
         """``request_filter(url_str, page_domain, resource_type) -> bool``
         simulates a content blocker: when it returns True the request is
         cancelled before hitting the network (the paper's §10 proposes
         studying exactly this — ad-blocker effectiveness on this ecosystem).
+
+        ``use_manifest`` consumes the server's render manifest instead of
+        re-parsing HTML; set it False to force the historical parse-driven
+        subresource extraction (the two produce bit-identical crawl logs —
+        see ``tests/test_manifest_parity.py``).
         """
         self.universe = universe
         self.client = client
@@ -62,6 +78,7 @@ class Browser:
         )
         self.keep_html = keep_html
         self.request_filter = request_filter
+        self.use_manifest = use_manifest
         self.blocked_requests = 0
 
     # ------------------------------------------------------------------
@@ -207,8 +224,9 @@ class Browser:
             if response is not None:
                 final_url = candidate
                 break
-            if record.error not in ("FetchError",):
-                # Dead site / timeout / NXDOMAIN: downgrading won't help.
+            if record.error != "TLSUnsupportedError":
+                # Dead site / timeout / NXDOMAIN / no route / geo-excluded:
+                # the failure is scheme-independent, downgrading won't help.
                 break
 
         if response is None or final_url is None:
@@ -230,45 +248,77 @@ class Browser:
         if not response.ok or "text/html" not in response.content_type:
             return visit
 
-        # The tree is only iterated (never mutated), so the shared
-        # content-hash parse cache is safe here.
-        document = parse_html_cached(response.body)
-        self._load_subresources(document, page_url=final_url,
-                                page_domain=site_domain, depth=0)
+        self._load_page(response, page_url=final_url,
+                        page_domain=site_domain, depth=0)
         return visit
 
-    def _load_subresources(
-        self, document: Element, *, page_url: URL, page_domain: str, depth: int
-    ) -> None:
-        page_url_text = str(page_url)
+    def _resource_entries(self, response: Response) -> List[Tuple[str, str]]:
+        """The ordered ``(resource_type, url)`` fetch list of an HTML response.
+
+        Prefers the server's render manifest (no parsing at all); falls
+        back to the one-pass DOM extraction when the response carries none
+        or the browser was built with ``use_manifest=False``.
+        """
+        if self.use_manifest and response.manifest is not None:
+            manifest = response.manifest
+            return [
+                (resource_type, url)
+                for kind, resource_type in _MANIFEST_KINDS
+                for entry_kind, url in manifest
+                if entry_kind == kind
+            ]
+        # The tree is only iterated (never mutated), so the shared
+        # content-hash parse cache is safe here.
+        return self._extract_entries(parse_html_cached(response.body))
+
+    @staticmethod
+    def _extract_entries(document: Element) -> List[Tuple[str, str]]:
+        """One DOM traversal, bucketed by tag.
+
+        The historical code walked the full tree once per resource tag;
+        bucketing keeps the identical fetch order (tags in
+        ``_RESOURCE_TAGS`` order, DOM pre-order within a tag) at a quarter
+        of the traversal cost.
+        """
+        buckets: dict = {tag: [] for tag, _, _ in _RESOURCE_TAGS}
+        for element in document.iter():
+            bucket = buckets.get(element.tag)
+            if bucket is not None:
+                bucket.append(element)
+        entries: List[Tuple[str, str]] = []
         for tag, attr, resource_type in _RESOURCE_TAGS:
-            for element in document.iter():
-                if element.tag != tag:
-                    continue
+            for element in buckets[tag]:
                 raw = element.get(attr)
                 if not raw or raw.startswith("/"):
                     continue  # same-document relative assets are not logged
-                try:
-                    url = parse_url(raw)
-                except URLError:
-                    continue
-                response = self.fetch(
-                    url,
-                    page_domain=page_domain,
-                    resource_type=resource_type,
-                    initiator=page_url_text if depth else None,
-                    referrer=page_url_text,
-                )
-                if response is None or not response.ok:
-                    continue
-                if resource_type == "script":
-                    self._execute_script(url, page_domain=page_domain,
-                                         page_url_text=page_url_text)
-                elif resource_type == "sub_frame" and depth < 1:
-                    frame_doc = parse_html_cached(response.body)
-                    self._load_subresources(frame_doc, page_url=url,
-                                            page_domain=page_domain,
-                                            depth=depth + 1)
+                entries.append((resource_type, raw))
+        return entries
+
+    def _load_page(
+        self, page_response: Response, *, page_url: URL, page_domain: str,
+        depth: int
+    ) -> None:
+        page_url_text = str(page_url)
+        for resource_type, raw in self._resource_entries(page_response):
+            try:
+                url = parse_url(raw)
+            except URLError:
+                continue
+            response = self.fetch(
+                url,
+                page_domain=page_domain,
+                resource_type=resource_type,
+                initiator=page_url_text if depth else None,
+                referrer=page_url_text,
+            )
+            if response is None or not response.ok:
+                continue
+            if resource_type == "script":
+                self._execute_script(url, page_domain=page_domain,
+                                     page_url_text=page_url_text)
+            elif resource_type == "sub_frame" and depth < 1:
+                self._load_page(response, page_url=url,
+                                page_domain=page_domain, depth=depth + 1)
 
     def _apply_document_cookie(
         self, script_url: URL, page_domain: str, directive

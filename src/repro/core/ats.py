@@ -40,6 +40,11 @@ class ATSClassifier:
     def __init__(self, easylist: FilterList, easyprivacy: FilterList) -> None:
         self.easylist = easylist
         self.easyprivacy = easyprivacy
+        #: Match memo keyed on everything rule evaluation can read:
+        #: the URL, the first-party host, and the resource type.  A crawl
+        #: asks about the same (ad pixel, page) pair once per vantage
+        #: point and analysis stage, so hits dominate.
+        self._memo: Dict[tuple, bool] = {}
 
     @classmethod
     def from_texts(cls, easylist_text: str, easyprivacy_text: str) -> "ATSClassifier":
@@ -49,14 +54,21 @@ class ATSClassifier:
     def matches_url(self, url: str, *, first_party_host: str = "",
                     resource_type: str = "script") -> bool:
         """Full-URL match against both lists (the strict method)."""
+        key = (url, first_party_host, resource_type)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         try:
             parsed = parse_url(url)
         except URLError:
+            self._memo[key] = False
             return False
         context = MatchContext(first_party_host=first_party_host,
                                resource_type=resource_type)
-        return self.easylist.matches(parsed, context) or \
+        result = self.easylist.matches(parsed, context) or \
             self.easyprivacy.matches(parsed, context)
+        self._memo[key] = result
+        return result
 
     def matches_domain(self, host: str) -> bool:
         """Relaxed base-FQDN match (the organization-level method)."""

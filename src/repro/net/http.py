@@ -118,12 +118,23 @@ class Request:
 
 @dataclass
 class Response:
-    """An HTTP response as observed by the browser."""
+    """An HTTP response as observed by the browser.
+
+    ``manifest`` is the server's *render manifest*: the ordered
+    ``(kind, url)`` subresource references of an HTML body (kinds:
+    ``script``/``img``/``iframe``/``link``), as the renderer emitted
+    them.  The synthetic servers render every page from a structured
+    embed list, so they can hand that structure to the browser and spare
+    it re-parsing markup the universe itself just produced.  ``None``
+    means "no manifest available" (non-HTML payloads, or a server that
+    does not produce one) — the browser then falls back to parsing.
+    """
 
     url: URL
     status: int
     headers: Headers = field(default_factory=Headers)
     body: str = ""
+    manifest: Optional[Tuple[Tuple[str, str], ...]] = None
 
     @property
     def ok(self) -> bool:

@@ -9,6 +9,7 @@ functions of their context — not of call order.  ``stable_hash`` and
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import Union
 
 import numpy as np
@@ -17,6 +18,8 @@ __all__ = ["stable_hash", "rng_for", "token_for"]
 
 _B36_ALPHABET = "0123456789abcdefghijklmnopqrstuvwxyz"
 
+_SEP = "\x1f"
+
 
 def stable_hash(*parts: Union[str, int]) -> int:
     """A 64-bit hash of the parts, stable across processes and runs.
@@ -24,7 +27,7 @@ def stable_hash(*parts: Union[str, int]) -> int:
     Python's built-in ``hash`` is randomized per process for strings; this
     one is not, which is what makes server-side minting reproducible.
     """
-    digest = hashlib.sha256("\x1f".join(str(part) for part in parts).encode()).digest()
+    digest = hashlib.sha256(_SEP.join(map(str, parts)).encode()).digest()
     return int.from_bytes(digest[:8], "big")
 
 
@@ -33,14 +36,26 @@ def rng_for(seed: int, *keys: Union[str, int]) -> np.random.Generator:
     return np.random.default_rng([seed & 0xFFFFFFFF, stable_hash(*keys) & 0xFFFFFFFF])
 
 
+@lru_cache(maxsize=262_144)
 def token_for(length: int, *parts: Union[str, int]) -> str:
-    """A deterministic base-36 token of ``length`` characters."""
+    """A deterministic base-36 token of ``length`` characters.
+
+    Each sha256 digest yields up to twelve-odd base-36 digits, so the
+    parts are joined *once* and one digest is taken per ~12 characters —
+    the same digest sequence (and therefore the same token) the original
+    per-counter ``stable_hash`` loop produced.  Cookie values and minted
+    hostnames recur heavily within a crawl (same site, same client), so
+    the whole function sits behind an ``lru_cache``.
+    """
     if length <= 0:
         return ""
+    suffix = (_SEP + _SEP.join(map(str, parts))).encode() if parts else b""
+    sha256 = hashlib.sha256
+    from_bytes = int.from_bytes
     chars = []
     counter = 0
     while len(chars) < length:
-        value = stable_hash(counter, *parts)
+        value = from_bytes(sha256(b"%d%s" % (counter, suffix)).digest()[:8], "big")
         while value and len(chars) < length:
             value, digit = divmod(value, 36)
             chars.append(_B36_ALPHABET[digit])

@@ -21,6 +21,7 @@ __all__ = [
     "render_policy_page",
     "render_error_page",
     "head_boilerplate",
+    "page_manifest",
 ]
 
 #: Per-language strings (subset large enough for the 8-language detectors).
@@ -233,6 +234,21 @@ def _embed_tags(embeds: Sequence[Tuple[str, str]]) -> str:
         else:
             raise ValueError(f"unknown embed kind: {kind!r}")
     return "\n".join(parts)
+
+
+def page_manifest(embeds: Sequence[Tuple[str, str]]) -> Tuple[Tuple[str, str], ...]:
+    """The render manifest matching :func:`_embed_tags`' markup.
+
+    Exactly the crawlable subresource references of a page rendered with
+    ``embeds``: the embed list in document order, minus same-document
+    relative assets (which the browser never logs).  Every other resource
+    tag the landing templates emit uses a ``/``-relative URL, so this *is*
+    the page's full fetch list — the manifest-vs-parse property test
+    asserts that for every rendered page type.
+    """
+    return tuple(
+        (kind, url) for kind, url in embeds if url and not url.startswith("/")
+    )
 
 
 def render_porn_landing(

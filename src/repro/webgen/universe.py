@@ -42,6 +42,7 @@ from .policytext import (
 )
 from .rank import RankModel
 from .render import (
+    page_manifest,
     render_error_page,
     render_policy_page,
     render_porn_landing,
@@ -71,6 +72,7 @@ __all__ = [
     "FetchError",
     "SiteUnresponsiveError",
     "SiteTimeoutError",
+    "TLSUnsupportedError",
     "Universe",
     "build_universe",
 ]
@@ -93,6 +95,17 @@ class SiteUnresponsiveError(FetchError):
 
 class SiteTimeoutError(FetchError):
     """The site exceeded the crawler's 120 s page-load timeout."""
+
+
+class TLSUnsupportedError(FetchError):
+    """The host refused the TLS handshake (HTTP-only server).
+
+    The one failure mode where the crawler's HTTPS-first policy should
+    retry over plain HTTP (§5.2); every other :class:`FetchError` —
+    dead site, timeout, no route, geo-excluded service — fails the same
+    way on both schemes, so downgrading would only mint a second failed
+    request record.
+    """
 
 
 @dataclass(frozen=True)
@@ -314,9 +327,10 @@ class Universe:
             raise SiteTimeoutError(site.domain)
         if client.country_code in site.blocked_countries:
             return Response(request.url, 451,
-                            body=render_error_page(451, "Unavailable For Legal Reasons"))
+                            body=render_error_page(451, "Unavailable For Legal Reasons"),
+                            manifest=())
         if request.url.scheme == "https" and not site.https:
-            raise FetchError(f"{site.domain} does not support HTTPS")
+            raise TLSUnsupportedError(f"{site.domain} does not support HTTPS")
 
         path = request.url.path
         if path == "/":
@@ -352,16 +366,18 @@ class Universe:
         headers.add("Content-Type", "text/html")
         for header in self._first_party_cookies(site, client):
             headers.add("Set-Cookie", header)
-        return Response(request.url, 200, headers, body)
+        return Response(request.url, 200, headers, body,
+                        manifest=page_manifest(embeds))
 
     def _porn_policy(self, site: PornSiteSpec, request: Request) -> Response:
         policy = site.policy
         if policy is None or policy.link_broken or site.domain not in self._policy_texts:
             headers = Headers([("Content-Type", "text/html")])
             return Response(request.url, 404, headers,
-                            render_error_page(404, "Not Found"))
+                            render_error_page(404, "Not Found"), manifest=())
         body = render_policy_page(site.domain, self._policy_texts[site.domain])
-        return Response(request.url, 200, Headers([("Content-Type", "text/html")]), body)
+        return Response(request.url, 200, Headers([("Content-Type", "text/html")]),
+                        body, manifest=())
 
     def _first_party_cookies(
         self, site: PornSiteSpec, client: ClientContext
@@ -403,7 +419,7 @@ class Universe:
         if not site.responsive:
             raise SiteUnresponsiveError(site.domain)
         if request.url.scheme == "https" and not site.https:
-            raise FetchError(f"{site.domain} does not support HTTPS")
+            raise TLSUnsupportedError(f"{site.domain} does not support HTTPS")
         if request.url.path != "/":
             return self._serve_asset(request)
         embeds = self._regular_embeds(site, client)
@@ -420,7 +436,8 @@ class Universe:
                 f"uid={token_for(24, seed, site.domain, 'fp', 'uid', client.client_ip)};"
                 " Path=/; Max-Age=31536000",
             )
-        return Response(request.url, 200, headers, body)
+        return Response(request.url, 200, headers, body,
+                        manifest=page_manifest(embeds))
 
     # -- embeds ----------------------------------------------------------------------
 
@@ -563,7 +580,7 @@ class Universe:
         if not service.serves_country(client.country_code):
             raise FetchError(f"{service.domain} unavailable in {client.country_code}")
         if request.url.scheme == "https" and not service.https:
-            raise FetchError(f"{service.domain} does not support HTTPS")
+            raise TLSUnsupportedError(f"{service.domain} does not support HTTPS")
 
         path = request.url.path
         site_context = self._referrer_site(request)
@@ -736,6 +753,7 @@ class Universe:
     ) -> Response:
         """An ad iframe: loads RTB bidders *dynamically* (not publisher-called)."""
         parts = ["<html><body>"]
+        scripts: List[Tuple[str, str]] = []
         if self.rtb_bidders:
             count = 1 + stable_hash(service.domain, site_context, "nbid") % 2
             for index in range(count):
@@ -748,14 +766,16 @@ class Universe:
                     continue
                 scheme = "https" if bidder_service.https else "http"
                 token = token_for(6, self.config.seed, site_context, bidder)
-                parts.append(f'<script src="{scheme}://{bidder}/ad/bid-{token}.js">'
-                             "</script>")
+                src = f"{scheme}://{bidder}/ad/bid-{token}.js"
+                parts.append(f'<script src="{src}"></script>')
+                scripts.append(("script", src))
         parts.append("<div class='ad'>sponsored</div></body></html>")
         headers = Headers([("Content-Type", "text/html")])
         for cookie_header in self._service_set_cookies(service, request, client,
                                                        site_context):
             headers.add("Set-Cookie", cookie_header)
-        return Response(request.url, 200, headers, "\n".join(parts))
+        return Response(request.url, 200, headers, "\n".join(parts),
+                        manifest=tuple(scripts))
 
     def _script_response(self, request: Request) -> Response:
         headers = Headers([("Content-Type", "application/javascript")])

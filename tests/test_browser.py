@@ -137,3 +137,102 @@ class TestRedirects:
             referrer="https://deepchain.com/",
         )
         assert len(browser.log.requests) <= 6
+
+
+class _StubDNS:
+    def try_resolve(self, host):
+        return "203.0.113.1"
+
+
+class _StubUniverse:
+    """Minimal server: per-scheme outcome table, call log for assertions."""
+
+    def __init__(self, outcomes):
+        self.dns = _StubDNS()
+        self.outcomes = outcomes  # scheme -> Response | Exception
+        self.fetched = []
+
+    def fetch(self, request, client):
+        self.fetched.append(str(request.url))
+        outcome = self.outcomes[request.url.scheme]
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+    def script_behavior(self, url):
+        return None
+
+
+class TestHTTPSDowngradePolicy:
+    """Only a refused TLS handshake justifies retrying over plain HTTP."""
+
+    def _visit(self, outcomes):
+        universe = _StubUniverse(outcomes)
+        browser = Browser(universe, ES)
+        return universe, browser, browser.visit("stub-site.com")
+
+    def test_tls_unsupported_downgrades_to_http(self):
+        from repro.net.http import Headers, Response
+        from repro.webgen.universe import TLSUnsupportedError
+
+        ok = Response(parse_url("http://stub-site.com/"), 200,
+                      Headers([("Content-Type", "text/html")]),
+                      "<html></html>", manifest=())
+        universe, browser, visit = self._visit({
+            "https": TLSUnsupportedError("stub-site.com does not support HTTPS"),
+            "http": ok,
+        })
+        assert visit.success
+        assert not visit.https
+        assert [u.split(":")[0] for u in universe.fetched] == ["https", "http"]
+
+    def test_plain_fetch_error_is_not_retried_over_http(self):
+        """Geo-excluded / no-route failures are scheme-independent: one
+        failed document record, not two (the satellite fix)."""
+        from repro.webgen.universe import FetchError
+
+        universe, browser, visit = self._visit({
+            "https": FetchError("no route to host stub-site.com"),
+            "http": FetchError("no route to host stub-site.com"),
+        })
+        assert not visit.success
+        assert visit.failure_reason == "FetchError"
+        assert universe.fetched == ["https://stub-site.com/"]
+        documents = [r for r in browser.log.requests
+                     if r.resource_type == "document"]
+        assert len(documents) == 1
+
+    def test_unresponsive_site_is_not_retried(self):
+        from repro.webgen.universe import SiteUnresponsiveError
+
+        universe, browser, visit = self._visit({
+            "https": SiteUnresponsiveError("stub-site.com"),
+            "http": SiteUnresponsiveError("stub-site.com"),
+        })
+        assert not visit.success
+        assert len(universe.fetched) == 1
+
+    def test_tls_error_comes_from_universe_https_check(self, universe):
+        """The three serving paths raise the dedicated subclass."""
+        import pytest as _pytest
+
+        from repro.net.http import Request
+        from repro.webgen.universe import TLSUnsupportedError
+
+        no_tls_site = next(
+            (d for d, s in sorted(universe.porn_sites.items())
+             if s.responsive and not s.crawl_flaky and not s.https),
+            None,
+        )
+        assert no_tls_site is not None
+        with _pytest.raises(TLSUnsupportedError):
+            universe.fetch(Request(parse_url(f"https://{no_tls_site}/")), ES)
+        no_tls_service = next(
+            (d for d, s in sorted(universe.services.items()) if not s.https),
+            None,
+        )
+        if no_tls_service is not None:
+            with _pytest.raises(TLSUnsupportedError):
+                universe.fetch(
+                    Request(parse_url(f"https://{no_tls_service}/px")), ES
+                )
