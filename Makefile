@@ -2,7 +2,7 @@ PYTHON ?= python
 SCALE ?= 0.2
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick profile
+.PHONY: test bench bench-quick profile store-check
 
 ## Run the tier-1 test suite.
 test:
@@ -18,6 +18,18 @@ bench:
 bench-quick:
 	$(PYTHON) benchmarks/test_perf_pipeline.py --scale 0.02 \
 		--parallelism-set 1 --output BENCH_quick.json
+
+## Store replay check (used by CI): run a scale-0.02 study into a fresh
+## datastore, re-render everything from the store alone, and require the
+## two outputs to be byte-identical.
+store-check:
+	rm -f /tmp/repro-store-check.db
+	$(PYTHON) -m repro study --scale 0.02 \
+		--store /tmp/repro-store-check.db > /tmp/repro-study.out
+	$(PYTHON) -m repro report \
+		--store /tmp/repro-store-check.db > /tmp/repro-report.out
+	diff /tmp/repro-study.out /tmp/repro-report.out
+	$(PYTHON) -m repro store info /tmp/repro-store-check.db --verbose
 
 ## Profile one sequential pipeline run and print the top-20 functions by
 ## total own time.

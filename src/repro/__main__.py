@@ -2,18 +2,24 @@
 
 Commands
 --------
-``corpus``   — compile and sanitize the §3 corpus, print the accounting.
-``crawl``    — crawl N sites from a vantage point, print tracker summary.
-``study``    — run the full study and print every table and figure.
+``corpus``     — compile and sanitize the §3 corpus, print the accounting.
+``crawl``      — crawl N sites from a vantage point, print tracker summary.
+``study``      — run the full study and print every table and figure.
+``report``     — render every table and figure purely from a crawl store.
+``store info`` — print a store's run manifests (timings, counts, caches).
 
-Every command accepts ``--scale`` (corpus size as a fraction of the
-paper's 6,843 sites) and ``--seed``.
+Every crawling command accepts ``--scale`` (corpus size as a fraction of
+the paper's 6,843 sites), ``--seed``, and ``--store PATH`` (persist
+crawls to a SQLite datastore; an interrupted run resumes at per-site
+granularity).  ``report`` and ``store info`` read scale and seed from
+the store itself.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from . import Study, UniverseConfig
 from .net.url import registrable_domain
@@ -25,6 +31,7 @@ from .reporting import (
     render_table2,
     render_table3,
     render_table4,
+    render_table5,
     render_table6,
     render_table7,
     render_table8,
@@ -37,8 +44,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=20191021)
 
 
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="persist crawls to this SQLite datastore "
+                             "(resumable; re-runs skip stored sites)")
+
+
 def _build_study(args: argparse.Namespace) -> Study:
-    return Study.build(UniverseConfig(seed=args.seed, scale=args.scale))
+    return Study.build(UniverseConfig(seed=args.seed, scale=args.scale),
+                       store=getattr(args, "store", None))
 
 
 def cmd_corpus(args: argparse.Namespace) -> int:
@@ -58,15 +72,36 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cache_stats(universe) -> None:
+    from .html.parser import parse_cache_stats
+
+    for name, stats in (("fetch cache", universe.fetch_cache.stats),
+                        ("parse cache", parse_cache_stats())):
+        print(f"{name}: {stats.hits} hits / {stats.misses} misses "
+              f"({stats.hit_rate:.0%} hit rate, "
+              f"{stats.evictions} evictions)")
+
+
 def cmd_crawl(args: argparse.Namespace) -> int:
     from .crawler import OpenWPMCrawler
 
     study = _build_study(args)
     domains = study.corpus_domains()[: args.sites]
-    crawler = OpenWPMCrawler(
-        study.universe, study.vantage_points.point(args.country)
-    )
-    log = crawler.crawl(domains)
+    started = time.perf_counter()
+    if args.store:
+        from .datastore import stored_crawl
+
+        log = stored_crawl(
+            study.store, study.universe,
+            study.vantage_points.point(args.country),
+            Study._PORN_KIND, domains,
+        )
+    else:
+        crawler = OpenWPMCrawler(
+            study.universe, study.vantage_points.point(args.country)
+        )
+        log = crawler.crawl(domains)
+    elapsed = time.perf_counter() - started
     ok = sum(1 for visit in log.visits if visit.success)
     print(f"crawled {ok}/{len(domains)} sites from {args.country}: "
           f"{len(log.requests)} requests, {len(log.cookies)} cookies, "
@@ -79,11 +114,14 @@ def cmd_crawl(args: argparse.Namespace) -> int:
     print(f"{len(third_parties)} third-party domains; top of the list:")
     for domain in third_parties[: args.top]:
         print(f"  {domain}")
+    if args.stats:
+        print(f"\ncrawl wall time: {elapsed:.2f}s")
+        _print_cache_stats(study.universe)
     return 0
 
 
-def cmd_study(args: argparse.Namespace) -> int:
-    study = _build_study(args)
+def _render_study(study: Study, scale: float, geo: bool) -> None:
+    """Print every table and figure (shared by ``study`` and ``report``)."""
     print(f"== corpus ({len(study.corpus_domains())} sites) ==")
     print(figure1_ascii(study.popularity()))
     print("\n== Table 1: owners ==")
@@ -98,14 +136,106 @@ def cmd_study(args: argparse.Namespace) -> int:
     print(render_table4(study.cookie_stats()))
     print("\n== Figure 4: cookie syncing ==")
     print(figure4_ascii(study.cookie_sync(),
-                        minimum=max(2, int(75 * args.scale))))
+                        minimum=max(2, int(75 * scale))))
+    print("\n== Table 5: fingerprinting ==")
+    fingerprinting = study.fingerprinting()
+    porn_labels = study.porn_labels()
+    regular_bases = {
+        registrable_domain(fqdn)
+        for fqdn in study.regular_labels().all_third_party_fqdns
+    }
+    print(render_table5(
+        fingerprinting.per_service_table(
+            lambda domain: len(porn_labels.sites_embedding(domain))
+        ),
+        is_ats=study.ats_classifier().matches_domain,
+        in_regular_web=lambda domain: domain in regular_bases,
+    ))
     print("\n== Table 6: HTTPS ==")
     print(render_table6(study.https_report()))
-    if args.geo:
+    malware = study.malware()
+    print(f"\n§5.3 malware: {len(malware.malicious_sites)} malicious porn "
+          f"sites, {len(malware.malicious_third_parties)} malicious third "
+          f"parties reaching {malware.affected_site_count} sites; "
+          f"cryptomining: {len(malware.miner_services)} services on "
+          f"{len(malware.miner_sites)} sites")
+    if geo:
         print("\n== Table 7: geography ==")
         print(render_table7(study.geography()))
     print("\n== Table 8: banners ==")
     print(render_table8(study.banners("ES"), study.banners("US")))
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    study = _build_study(args)
+    _render_study(study, args.scale, args.geo)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .datastore import CrawlStore, MissingRunError
+    from .webgen.builder import build_universe
+
+    store = CrawlStore(args.store)
+    config = store.stored_config()
+    if config is None:
+        print(f"error: {args.store} holds no runs; populate it with "
+              "`repro study --store` first", file=sys.stderr)
+        return 1
+    # The synthetic universe is rebuilt (cheap, deterministic) for the
+    # analyses' lookup tables; every crawl log hydrates from the store
+    # and no browser session is ever started.
+    study = Study(build_universe(config), store=store, store_only=True)
+    try:
+        _render_study(study, config.scale, args.geo)
+    except MissingRunError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _format_timestamp(stamp) -> str:
+    if stamp is None:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(stamp))
+
+
+def cmd_store_info(args: argparse.Namespace) -> int:
+    from .datastore import CrawlStore
+
+    store = CrawlStore(args.path)
+    config = store.stored_config()
+    manifests = store.run_manifests()
+    print(f"store: {args.path} (schema v{store.schema_version()})")
+    if config is not None:
+        print(f"universe: seed={config.seed} scale={config.scale}")
+    print(f"runs: {len(manifests)}")
+    for run in manifests:
+        status = "complete" if run.complete else \
+            f"partial {run.completed_sites}/{run.total_sites}"
+        print(f"\n[{run.run_id}] {run.kind} from {run.country_code} "
+              f"({run.client_ip}) — {status}")
+        print(f"    sites: {run.completed_sites}/{run.total_sites}  "
+              f"visits: {run.visits}  requests: {run.requests}  "
+              f"cookies: {run.cookies}  js_calls: {run.js_calls}")
+        print(f"    crawl time: {run.elapsed:.2f}s "
+              f"({run.sites_per_second:.1f} sites/s)  "
+              f"started: {_format_timestamp(run.started_at)}  "
+              f"finished: {_format_timestamp(run.finished_at)}")
+        if args.verbose:
+            print(f"    run key: {run.run_key}")
+            stats = run.stats or {}
+            for cache in ("fetch_cache", "parse_cache"):
+                counters = stats.get(cache)
+                if counters is None:
+                    continue
+                lookups = counters["hits"] + counters["misses"]
+                rate = counters["hits"] / lookups if lookups else 0.0
+                print(f"    {cache}: {counters['hits']} hits / "
+                      f"{counters['misses']} misses ({rate:.0%} hit rate, "
+                      f"{counters['evictions']} evictions)")
+            if "resumed_from_site" in stats and stats["resumed_from_site"]:
+                print(f"    resumed from site {stats['resumed_from_site']}")
     return 0
 
 
@@ -122,17 +252,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     crawl = subparsers.add_parser("crawl", help="crawl sites, show trackers")
     _add_common(crawl)
+    _add_store(crawl)
     crawl.add_argument("--sites", type=int, default=25)
     crawl.add_argument("--country", default="ES",
                        choices=["ES", "US", "UK", "RU", "IN", "SG"])
     crawl.add_argument("--top", type=int, default=15)
+    crawl.add_argument("--stats", action="store_true",
+                       help="print fetch/parse cache hit rates after the crawl")
     crawl.set_defaults(func=cmd_crawl)
 
     study = subparsers.add_parser("study", help="run the whole paper")
     _add_common(study)
+    _add_store(study)
     study.add_argument("--geo", action="store_true",
                        help="include the six-country Table 7 (slow)")
     study.set_defaults(func=cmd_study)
+
+    report = subparsers.add_parser(
+        "report", help="render all tables/figures from a store (no crawling)"
+    )
+    report.add_argument("--store", metavar="PATH", required=True,
+                        help="crawl datastore written by study/crawl --store")
+    report.add_argument("--geo", action="store_true",
+                        help="include the six-country Table 7")
+    report.set_defaults(func=cmd_report)
+
+    store = subparsers.add_parser("store", help="inspect a crawl datastore")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    info = store_sub.add_parser("info", help="print run manifests")
+    info.add_argument("path", help="path to the datastore")
+    info.add_argument("--verbose", "-v", action="store_true",
+                      help="include run keys and cache hit/miss counters")
+    info.set_defaults(func=cmd_store_info)
     return parser
 
 

@@ -199,7 +199,9 @@ class FingerprintingReport:
             canvas = sum(1 for s in self.canvas_scripts if s.domain == domain)
             webrtc = sum(1 for s in self.webrtc_scripts if s.domain == domain)
             rows.append((domain, presence(domain), canvas, webrtc))
-        rows.sort(key=lambda row: -row[1])
+        # Domain name breaks presence ties: the ranking must not depend
+        # on set iteration order (string hashing varies per process).
+        rows.sort(key=lambda row: (-row[1], row[0]))
         return rows[:top_n]
 
 

@@ -91,6 +91,10 @@ class CrawlSpec:
     keep_html: bool = True
     epoch: str = "crawl"
     analyses: Tuple[str, ...] = ()
+    #: Datastore run kind; defaults to ``openwpm:<key>`` when a store is
+    #: attached.  Callers with their own naming (``Study``) set it so the
+    #: sequential accessors land on the same manifest rows.
+    store_kind: str = ""
 
     def __post_init__(self) -> None:
         unknown = set(self.analyses) - _KNOWN_ANALYSES
@@ -142,11 +146,17 @@ class CrawlExecutionError(RuntimeError):
 
 @dataclass
 class _WorkerContext:
-    """Everything a worker needs; inherited via fork, shared via threads."""
+    """Everything a worker needs; inherited via fork, shared via threads.
+
+    ``store_path`` travels as a path, never as an open handle: SQLite
+    connections must not cross ``fork``, so each worker opens its own
+    connection against the shared WAL store.
+    """
 
     universe: Universe
     vantage_points: VantagePointManager
     classifier: Optional[ATSClassifier] = None
+    store_path: Optional[str] = None
 
 
 #: Set by the parent immediately before spawning a fork-based pool so
@@ -154,17 +164,35 @@ class _WorkerContext:
 _FORK_CONTEXT: Optional[_WorkerContext] = None
 
 
+def _crawl_spec_log(context: _WorkerContext, spec: CrawlSpec) -> CrawlLog:
+    """Produce the spec's crawl log, through the store when one is set.
+
+    With a store attached, fully stored crawls load without a browser,
+    partially stored ones resume at the first missing site, and fresh
+    ones checkpoint after every site — all yielding logs bit-identical
+    to a plain uninterrupted crawl.
+    """
+    vantage = context.vantage_points.point(spec.country)
+    if context.store_path is not None:
+        from ..datastore import CrawlStore, stored_crawl
+
+        with CrawlStore(context.store_path) as store:
+            return stored_crawl(
+                store, context.universe, vantage,
+                spec.store_kind or f"openwpm:{spec.key}",
+                list(spec.domains), epoch=spec.epoch,
+                keep_html=spec.keep_html,
+            )
+    crawler = OpenWPMCrawler(context.universe, vantage, epoch=spec.epoch,
+                             keep_html=spec.keep_html)
+    return crawler.crawl(list(spec.domains))
+
+
 def _execute_spec(context: _WorkerContext,
                   spec: CrawlSpec) -> Union[CrawlOutcome, _WorkerFailure]:
     """Run one crawl plus its requested analyses; never raises."""
     try:
-        crawler = OpenWPMCrawler(
-            context.universe,
-            context.vantage_points.point(spec.country),
-            epoch=spec.epoch,
-            keep_html=spec.keep_html,
-        )
-        log = crawler.crawl(list(spec.domains))
+        log = _crawl_spec_log(context, spec)
         outcome = CrawlOutcome(key=spec.key, country=spec.country, log=log)
         wants = set(spec.analyses)
         if wants & {ANALYSIS_LABELS, ANALYSIS_ATS, ANALYSIS_MALWARE}:
@@ -218,7 +246,12 @@ class CrawlExecutor:
         parallelism: Optional[int] = None,
         backend: Optional[str] = None,
         classifier: Optional[ATSClassifier] = None,
+        store=None,
     ) -> None:
+        """``store`` (a :class:`~repro.datastore.CrawlStore` or a path)
+        makes every crawl persistent and resumable: workers record
+        per-site completion and skip sites the store already holds.
+        """
         if backend not in (None, "process", "thread", "serial"):
             raise ValueError(f"unknown backend: {backend!r}")
         self.universe = universe
@@ -226,6 +259,7 @@ class CrawlExecutor:
         self.parallelism = max(1, int(parallelism or default_parallelism()))
         self.backend = backend
         self._classifier = classifier
+        self.store_path = getattr(store, "path", store)
 
     # ------------------------------------------------------------------
 
@@ -251,7 +285,8 @@ class CrawlExecutor:
                 self.universe.easylist_text, self.universe.easyprivacy_text
             )
             self._classifier = classifier
-        return _WorkerContext(self.universe, self.vantage_points, classifier)
+        return _WorkerContext(self.universe, self.vantage_points, classifier,
+                              store_path=self.store_path)
 
     # ------------------------------------------------------------------
 

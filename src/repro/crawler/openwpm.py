@@ -7,7 +7,7 @@ are visited (a deliberate lower bound on tracking).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional, Tuple
 
 from ..browser.browser import Browser
 from ..browser.events import CrawlLog
@@ -35,15 +35,29 @@ class OpenWPMCrawler:
         self.keep_html = keep_html
 
     def crawl(self, domains: Iterable[str],
-              *, log: Optional[CrawlLog] = None) -> CrawlLog:
+              *, log: Optional[CrawlLog] = None,
+              checkpoint: Optional[Callable[
+                  [str, CrawlLog, Tuple[int, int, int, int]], None
+              ]] = None) -> CrawlLog:
         """Visit each domain's landing page once, in order.
 
         A single cookie jar spans the whole crawl; pass an existing ``log``
         to append (used when crawling the porn and regular corpora in the
-        same session).
+        same session, and by the datastore when resuming an aborted run).
+
+        ``checkpoint(domain, log, marks)`` fires after every completed
+        visit with the pre-visit lengths of the log's (visits, requests,
+        cookies, js_calls) lists, so a persistence layer can durably
+        append exactly that site's event slice (see
+        :func:`repro.datastore.stored_crawl`).
         """
         browser = Browser(self.universe, self.client, log=log,
                           keep_html=self.keep_html)
+        log = browser.log
         for domain in domains:
+            marks = (len(log.visits), len(log.requests),
+                     len(log.cookies), len(log.js_calls))
             browser.visit(domain)
-        return browser.log
+            if checkpoint is not None:
+                checkpoint(domain, log, marks)
+        return log

@@ -1,0 +1,32 @@
+"""Persistent crawl datastore: OpenWPM-style SQLite persistence.
+
+The paper's crawler writes every request, cookie, and JS call to SQLite
+and runs analyses over the stored measurement data; this package gives
+the reproduction the same shape.  :class:`CrawlStore` is the store,
+:func:`stored_crawl` the load-resume-or-crawl entry point, and
+:func:`run_key` the content-hash run identity.
+"""
+
+from .schema import SCHEMA_VERSION, SchemaError
+from .serialize import config_from_json, config_to_json, domains_hash, run_key
+from .store import (
+    CrawlStore,
+    MissingRunError,
+    RunManifest,
+    RunState,
+    stored_crawl,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "CrawlStore",
+    "MissingRunError",
+    "RunManifest",
+    "RunState",
+    "config_from_json",
+    "config_to_json",
+    "domains_hash",
+    "run_key",
+    "stored_crawl",
+]

@@ -1,0 +1,177 @@
+"""Faithful row serializers for the crawl datastore.
+
+Every converter here is paired with an inverse such that
+``from_row(to_row(record)) == record`` field-for-field — the roundtrip
+tests in ``tests/test_datastore.py`` assert this over whole crawl logs.
+Two representation choices make that hold:
+
+* SQLite has no boolean type, so flags travel as 0/1 and are restored
+  with ``bool()``;
+* :class:`~repro.js.api.JSCall` argument dicts travel as canonical JSON
+  (sorted keys, no whitespace).  The generators only put ``str``/``int``
+  values in ``args``, which JSON round-trips exactly; dict equality is
+  order-insensitive, so key sorting is free canonicalization.
+
+The module also owns *run identity*: :func:`run_key` is the content hash
+of (:class:`UniverseConfig`, vantage point, crawler kind) — the same
+universe crawled the same way from the same place always lands on the
+same manifest row, which is what makes resume and store-backed analysis
+find their data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, fields, is_dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..browser.events import CookieRecord, CrawlLog, PageVisit, RequestRecord
+from ..js.api import JSCall
+from ..net.geo import VantagePoint
+from ..webgen.config import CalibrationTargets, UniverseConfig
+
+__all__ = [
+    "config_from_json",
+    "config_to_json",
+    "cookie_from_row",
+    "cookie_to_row",
+    "domains_hash",
+    "jscall_from_row",
+    "jscall_to_row",
+    "request_from_row",
+    "request_to_row",
+    "run_key",
+    "vantage_to_json",
+    "visit_from_row",
+    "visit_to_row",
+]
+
+
+# ----------------------------------------------------------------------
+# Run identity
+# ----------------------------------------------------------------------
+
+def _canonical(value: Any) -> str:
+    """Deterministic JSON text for hashing and storage."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def config_to_json(config: UniverseConfig) -> str:
+    """Canonical JSON for a :class:`UniverseConfig` (tuples become lists)."""
+    return _canonical(asdict(config))
+
+
+def _tuplify(value: Any) -> Any:
+    """Undo JSON's tuple→list flattening, recursively.
+
+    Every sequence field of :class:`CalibrationTargets` /
+    :class:`UniverseConfig` is a tuple, so a blanket list→tuple
+    conversion restores the exact dataclass shape.
+    """
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    if isinstance(value, dict):
+        return {key: _tuplify(item) for key, item in value.items()}
+    return value
+
+
+def config_from_json(text: str) -> UniverseConfig:
+    """Inverse of :func:`config_to_json` (exact dataclass equality)."""
+    payload = json.loads(text)
+    targets = CalibrationTargets(
+        **{key: _tuplify(value) for key, value in payload.pop("targets").items()}
+    )
+    return UniverseConfig(targets=targets, **payload)
+
+
+def vantage_to_json(vantage: VantagePoint) -> str:
+    return _canonical(asdict(vantage))
+
+
+def run_key(
+    config: UniverseConfig,
+    vantage: VantagePoint,
+    kind: str,
+    *,
+    epoch: str = "crawl",
+    keep_html: bool = True,
+) -> str:
+    """Content hash identifying one logical crawl.
+
+    ``kind`` names the crawler and corpus role (``openwpm:porn``,
+    ``openwpm:regular``, ``selenium:inspections`` ...); ``epoch`` and
+    ``keep_html`` are folded in because both change what a session
+    records (the universe serves per-epoch tokens, and HTML retention
+    changes the stored visits).
+    """
+    payload = _canonical({
+        "config": json.loads(config_to_json(config)),
+        "vantage": json.loads(vantage_to_json(vantage)),
+        "kind": kind,
+        "epoch": epoch,
+        "keep_html": keep_html,
+    })
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def domains_hash(domains: Sequence[str]) -> str:
+    """Content hash of an ordered site list (order matters for resume)."""
+    joined = "\n".join(domains)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Record rows (column order matches the schema DDL)
+# ----------------------------------------------------------------------
+
+def visit_to_row(visit: PageVisit) -> Tuple:
+    return (visit.site_domain, visit.url, int(visit.success), visit.status,
+            visit.failure_reason, visit.html, int(visit.https))
+
+
+def visit_from_row(row: Sequence) -> PageVisit:
+    return PageVisit(
+        site_domain=row[0], url=row[1], success=bool(row[2]), status=row[3],
+        failure_reason=row[4], html=row[5], https=bool(row[6]),
+    )
+
+
+def request_to_row(record: RequestRecord) -> Tuple:
+    return (record.url, record.fqdn, record.scheme, record.page_domain,
+            record.resource_type, record.initiator, record.referrer,
+            record.seq, record.status, int(record.failed), record.error,
+            record.redirect_location)
+
+
+def request_from_row(row: Sequence) -> RequestRecord:
+    return RequestRecord(
+        url=row[0], fqdn=row[1], scheme=row[2], page_domain=row[3],
+        resource_type=row[4], initiator=row[5], referrer=row[6], seq=row[7],
+        status=row[8], failed=bool(row[9]), error=row[10],
+        redirect_location=row[11],
+    )
+
+
+def cookie_to_row(cookie: CookieRecord) -> Tuple:
+    return (cookie.page_domain, cookie.set_by_host, cookie.domain,
+            cookie.name, cookie.value, int(cookie.session),
+            int(cookie.secure), int(cookie.over_https), cookie.seq)
+
+
+def cookie_from_row(row: Sequence) -> CookieRecord:
+    return CookieRecord(
+        page_domain=row[0], set_by_host=row[1], domain=row[2], name=row[3],
+        value=row[4], session=bool(row[5]), secure=bool(row[6]),
+        over_https=bool(row[7]), seq=row[8],
+    )
+
+
+def jscall_to_row(call: JSCall) -> Tuple:
+    return (call.script_url, call.document_host, call.api,
+            _canonical(call.args))
+
+
+def jscall_from_row(row: Sequence) -> JSCall:
+    return JSCall(script_url=row[0], document_host=row[1], api=row[2],
+                  args=json.loads(row[3]))

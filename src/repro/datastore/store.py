@@ -1,0 +1,505 @@
+"""The persistent crawl datastore (our OpenWPM SQLite equivalent).
+
+:class:`CrawlStore` owns one SQLite file in WAL mode and persists whole
+:class:`~repro.browser.events.CrawlLog` sessions as they happen: the
+crawler calls the store's *checkpointer* after every landing-page visit,
+which appends that site's event rows and flips its completion flag in a
+single transaction.  A killed crawl therefore loses at most the site it
+was on, and :func:`stored_crawl` resumes it at per-site granularity.
+
+Why resume is bit-identical
+---------------------------
+
+A resumed session rebuilds the browser with the stored partial log (so
+global ``seq`` numbering continues where it stopped) but a *fresh*
+cookie jar.  That is safe because nothing the log records depends on
+jar state carried across sites: the synthetic servers never read request
+cookies (``Universe.fetch`` is a pure function of URL, referrer and
+client context), ``CookieJar.store_from_response`` reports every parsed
+cookie regardless of what the jar already holds, and minted
+``document.cookie`` identifiers derive from (script host, cookie name,
+client IP) only.  The per-site event stream is thus a pure function of
+(universe, client, site), which ``tests/test_datastore.py`` asserts by
+diffing an aborted-and-resumed crawl against an uninterrupted one.
+
+Concurrency: worker processes and threads each open their own
+:class:`CrawlStore` on the same path; WAL plus a busy timeout serializes
+writers, and every checkpoint is one short transaction.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..browser.events import CrawlLog
+from ..net.geo import VantagePoint
+from ..webgen.config import UniverseConfig
+from .schema import SCHEMA_VERSION, ensure_schema
+from .serialize import (
+    config_from_json,
+    config_to_json,
+    cookie_from_row,
+    cookie_to_row,
+    domains_hash,
+    jscall_from_row,
+    jscall_to_row,
+    request_from_row,
+    request_to_row,
+    run_key,
+    vantage_to_json,
+    visit_from_row,
+    visit_to_row,
+)
+
+__all__ = [
+    "CrawlStore",
+    "MissingRunError",
+    "RunManifest",
+    "RunState",
+    "stored_crawl",
+]
+
+
+class MissingRunError(RuntimeError):
+    """A store-only consumer asked for a crawl the store does not hold."""
+
+
+@dataclass(frozen=True)
+class RunState:
+    """Where one run stands: which sites are already on disk."""
+
+    run_id: int
+    domains: Tuple[str, ...]
+    completed: Tuple[str, ...]
+    seq: int
+    finished: bool
+
+    @property
+    def complete(self) -> bool:
+        return len(self.completed) == len(self.domains)
+
+    @property
+    def remaining(self) -> Tuple[str, ...]:
+        done = set(self.completed)
+        return tuple(d for d in self.domains if d not in done)
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """One manifest row for ``repro store info``."""
+
+    run_id: int
+    run_key: str
+    kind: str
+    country_code: str
+    client_ip: str
+    total_sites: int
+    completed_sites: int
+    visits: int
+    requests: int
+    cookies: int
+    js_calls: int
+    elapsed: float
+    started_at: float
+    finished_at: Optional[float]
+    stats: Optional[Dict]
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_sites == self.total_sites
+
+    @property
+    def sites_per_second(self) -> float:
+        return self.completed_sites / self.elapsed if self.elapsed else 0.0
+
+
+class CrawlStore:
+    """One SQLite crawl datastore (WAL journal, batched inserts)."""
+
+    def __init__(self, path: str, *, timeout: float = 30.0) -> None:
+        self.path = str(path)
+        self._lock = threading.RLock()
+        self._connection = sqlite3.connect(
+            self.path, timeout=timeout, check_same_thread=False,
+            isolation_level=None,  # autocommit; transactions are explicit
+        )
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._connection.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
+        with self._lock:
+            ensure_schema(self._connection)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    def __enter__(self) -> "CrawlStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @contextmanager
+    def _txn(self):
+        """One serialized write transaction (short by construction)."""
+        with self._lock:
+            self._connection.execute("BEGIN IMMEDIATE")
+            try:
+                yield self._connection
+            except BaseException:
+                self._connection.execute("ROLLBACK")
+                raise
+            self._connection.execute("COMMIT")
+
+    # -- store-level metadata -------------------------------------------
+
+    def schema_version(self) -> int:
+        return SCHEMA_VERSION
+
+    def stored_config(self) -> Optional[UniverseConfig]:
+        """The universe configuration every run in this store used."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT value FROM meta WHERE key='config_json'"
+            ).fetchone()
+        return config_from_json(row[0]) if row else None
+
+    def _check_config(self, config: UniverseConfig) -> str:
+        """Pin the store to one universe; reject mixing configurations."""
+        text = config_to_json(config)
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='config_json'"
+            ).fetchone()
+            if row is None:
+                conn.execute("INSERT INTO meta (key, value) VALUES (?, ?)",
+                             ("config_json", text))
+            elif row[0] != text:
+                raise ValueError(
+                    "store was created for a different UniverseConfig; "
+                    "use one store file per universe"
+                )
+        return text
+
+    # -- run lifecycle --------------------------------------------------
+
+    def open_run(
+        self,
+        config: UniverseConfig,
+        vantage: VantagePoint,
+        kind: str,
+        domains: Sequence[str],
+        *,
+        epoch: str = "crawl",
+        keep_html: bool = True,
+    ) -> RunState:
+        """Find or create the manifest row for one logical crawl."""
+        config_json = self._check_config(config)
+        key = run_key(config, vantage, kind, epoch=epoch, keep_html=keep_html)
+        dh = domains_hash(domains)
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT id FROM runs WHERE run_key=? AND domains_hash=?",
+                (key, dh),
+            ).fetchone()
+            if row is None:
+                cursor = conn.execute(
+                    "INSERT INTO runs (run_key, kind, country_code, client_ip,"
+                    " config_json, vantage_json, domains_hash, total_sites,"
+                    " started_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (key, kind, vantage.country_code, vantage.client_ip,
+                     config_json, vantage_to_json(vantage), dh, len(domains),
+                     time.time()),
+                )
+                run_id = cursor.lastrowid
+                conn.executemany(
+                    "INSERT INTO run_sites (run_id, position, domain)"
+                    " VALUES (?, ?, ?)",
+                    [(run_id, i, d) for i, d in enumerate(domains)],
+                )
+        return self._run_state(key, dh, domains)
+
+    def _run_state(self, key: str, dh: str,
+                   domains: Sequence[str]) -> RunState:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT id, seq, finished_at FROM runs"
+                " WHERE run_key=? AND domains_hash=?", (key, dh),
+            ).fetchone()
+            run_id, seq, finished_at = row
+            completed = tuple(
+                r[0] for r in self._connection.execute(
+                    "SELECT domain FROM run_sites"
+                    " WHERE run_id=? AND completed=1 ORDER BY position",
+                    (run_id,),
+                )
+            )
+        return RunState(run_id=run_id, domains=tuple(domains),
+                        completed=completed, seq=seq,
+                        finished=finished_at is not None)
+
+    def find_run(
+        self,
+        config: UniverseConfig,
+        vantage: VantagePoint,
+        kind: str,
+        domains: Sequence[str],
+        *,
+        epoch: str = "crawl",
+        keep_html: bool = True,
+    ) -> Optional[RunState]:
+        """The run's state if it exists, without creating anything."""
+        key = run_key(config, vantage, kind, epoch=epoch, keep_html=keep_html)
+        dh = domains_hash(domains)
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT id FROM runs WHERE run_key=? AND domains_hash=?",
+                (key, dh),
+            ).fetchone()
+        if row is None:
+            return None
+        return self._run_state(key, dh, domains)
+
+    def checkpointer(self, run_id: int) -> Callable:
+        """A per-site checkpoint callback for ``OpenWPMCrawler.crawl``.
+
+        Each invocation appends one visited site's event rows and marks
+        the site complete in a single transaction — the atomic unit a
+        kill can never tear.
+        """
+        with self._lock:
+            positions = dict(self._connection.execute(
+                "SELECT domain, position FROM run_sites WHERE run_id=?",
+                (run_id,),
+            ))
+        last = time.perf_counter()
+
+        def checkpoint(domain: str, log: CrawlLog,
+                       marks: Tuple[int, int, int, int]) -> None:
+            nonlocal last
+            now = time.perf_counter()
+            site_elapsed, last = now - last, now
+            v0, r0, c0, j0 = marks
+            with self._txn() as conn:
+                conn.executemany(
+                    "INSERT INTO visits VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    [(run_id, v0 + i) + visit_to_row(v)
+                     for i, v in enumerate(log.visits[v0:])],
+                )
+                conn.executemany(
+                    "INSERT INTO requests VALUES"
+                    " (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    [(run_id, r0 + i) + request_to_row(r)
+                     for i, r in enumerate(log.requests[r0:])],
+                )
+                conn.executemany(
+                    "INSERT INTO cookies VALUES"
+                    " (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    [(run_id, c0 + i) + cookie_to_row(c)
+                     for i, c in enumerate(log.cookies[c0:])],
+                )
+                conn.executemany(
+                    "INSERT INTO js_calls VALUES (?, ?, ?, ?, ?, ?)",
+                    [(run_id, j0 + i) + jscall_to_row(c)
+                     for i, c in enumerate(log.js_calls[j0:])],
+                )
+                conn.execute(
+                    "UPDATE run_sites SET completed=1, elapsed=?, requests=?,"
+                    " cookies=?, js_calls=? WHERE run_id=? AND position=?",
+                    (site_elapsed, len(log.requests) - r0,
+                     len(log.cookies) - c0, len(log.js_calls) - j0,
+                     run_id, positions[domain]),
+                )
+                conn.execute(
+                    "UPDATE runs SET seq=?, elapsed=elapsed+? WHERE id=?",
+                    (log._seq, site_elapsed, run_id),
+                )
+
+        return checkpoint
+
+    def finish_run(self, run_id: int,
+                   stats: Optional[Dict] = None) -> None:
+        """Stamp a run finished; refuses while sites are still pending."""
+        with self._txn() as conn:
+            pending = conn.execute(
+                "SELECT COUNT(*) FROM run_sites"
+                " WHERE run_id=? AND completed=0", (run_id,),
+            ).fetchone()[0]
+            if pending:
+                raise RuntimeError(
+                    f"run {run_id} still has {pending} pending sites"
+                )
+            conn.execute(
+                "UPDATE runs SET finished_at=COALESCE(finished_at, ?),"
+                " stats_json=COALESCE(?, stats_json) WHERE id=?",
+                (time.time(),
+                 json.dumps(stats, sort_keys=True) if stats else None,
+                 run_id),
+            )
+
+    # -- reading --------------------------------------------------------
+
+    def load_log(self, run_id: int) -> CrawlLog:
+        """Reconstruct the (possibly partial) crawl log of a run."""
+        with self._lock:
+            run = self._connection.execute(
+                "SELECT country_code, client_ip, seq FROM runs WHERE id=?",
+                (run_id,),
+            ).fetchone()
+            if run is None:
+                raise MissingRunError(f"no run {run_id} in {self.path}")
+            log = CrawlLog(country_code=run[0], client_ip=run[1])
+            log.visits = [
+                visit_from_row(row) for row in self._connection.execute(
+                    "SELECT site_domain, url, success, status, failure_reason,"
+                    " html, https FROM visits WHERE run_id=? ORDER BY position",
+                    (run_id,),
+                )
+            ]
+            log.requests = [
+                request_from_row(row) for row in self._connection.execute(
+                    "SELECT url, fqdn, scheme, page_domain, resource_type,"
+                    " initiator, referrer, seq, status, failed, error,"
+                    " redirect_location FROM requests"
+                    " WHERE run_id=? ORDER BY position", (run_id,),
+                )
+            ]
+            log.cookies = [
+                cookie_from_row(row) for row in self._connection.execute(
+                    "SELECT page_domain, set_by_host, domain, name, value,"
+                    " session, secure, over_https, seq FROM cookies"
+                    " WHERE run_id=? ORDER BY position", (run_id,),
+                )
+            ]
+            log.js_calls = [
+                jscall_from_row(row) for row in self._connection.execute(
+                    "SELECT script_url, document_host, api, args_json"
+                    " FROM js_calls WHERE run_id=? ORDER BY position",
+                    (run_id,),
+                )
+            ]
+        log._seq = run[2]
+        return log
+
+    def run_manifests(self) -> List[RunManifest]:
+        """Every run with completion, per-table counts, and timings."""
+        query = """
+            SELECT r.id, r.run_key, r.kind, r.country_code, r.client_ip,
+                   r.total_sites,
+                   (SELECT COUNT(*) FROM run_sites s
+                     WHERE s.run_id = r.id AND s.completed = 1),
+                   (SELECT COUNT(*) FROM visits v WHERE v.run_id = r.id),
+                   (SELECT COUNT(*) FROM requests q WHERE q.run_id = r.id),
+                   (SELECT COUNT(*) FROM cookies c WHERE c.run_id = r.id),
+                   (SELECT COUNT(*) FROM js_calls j WHERE j.run_id = r.id),
+                   r.elapsed, r.started_at, r.finished_at, r.stats_json
+              FROM runs r ORDER BY r.id
+        """
+        with self._lock:
+            rows = self._connection.execute(query).fetchall()
+        return [
+            RunManifest(
+                run_id=row[0], run_key=row[1], kind=row[2],
+                country_code=row[3], client_ip=row[4], total_sites=row[5],
+                completed_sites=row[6], visits=row[7], requests=row[8],
+                cookies=row[9], js_calls=row[10], elapsed=row[11],
+                started_at=row[12], finished_at=row[13],
+                stats=json.loads(row[14]) if row[14] else None,
+            )
+            for row in rows
+        ]
+
+    # -- artifacts ------------------------------------------------------
+
+    def put_artifact(self, key: str, payload: bytes) -> None:
+        """Store an opaque crawl product (e.g. the inspection pass)."""
+        with self._txn() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO artifacts VALUES (?, ?, ?)",
+                (key, payload, time.time()),
+            )
+
+    def get_artifact(self, key: str) -> Optional[bytes]:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT payload FROM artifacts WHERE artifact_key=?", (key,),
+            ).fetchone()
+        return bytes(row[0]) if row else None
+
+
+# ----------------------------------------------------------------------
+# The crawl-through-the-store entry point
+# ----------------------------------------------------------------------
+
+def _cache_snapshot(stats) -> Tuple[int, int, int]:
+    return (stats.hits, stats.misses, stats.evictions)
+
+
+def _cache_delta(stats, before: Tuple[int, int, int]) -> Dict[str, int]:
+    hits, misses, evictions = before
+    return {
+        "hits": stats.hits - hits,
+        "misses": stats.misses - misses,
+        "evictions": stats.evictions - evictions,
+    }
+
+
+def stored_crawl(
+    store: CrawlStore,
+    universe,
+    vantage: VantagePoint,
+    kind: str,
+    domains: Sequence[str],
+    *,
+    epoch: str = "crawl",
+    keep_html: bool = True,
+    allow_crawl: bool = True,
+) -> CrawlLog:
+    """Load, resume, or run one crawl through the store.
+
+    Fully stored runs are loaded without touching a browser; partially
+    stored runs resume with the remaining sites appended to the stored
+    partial log (bit-identical to an uninterrupted session — see the
+    module docstring); fresh runs crawl from scratch, checkpointing after
+    every site.  ``allow_crawl=False`` turns a miss into
+    :class:`MissingRunError` (the ``repro report`` contract: render from
+    the store, never crawl).
+    """
+    from ..crawler.openwpm import OpenWPMCrawler
+    from ..html.parser import parse_cache_stats
+
+    domains = list(domains)
+    state = store.open_run(universe.config, vantage, kind, domains,
+                           epoch=epoch, keep_html=keep_html)
+    remaining = state.remaining
+    if not remaining:
+        if not state.finished:
+            store.finish_run(state.run_id)
+        return store.load_log(state.run_id)
+    if not allow_crawl:
+        raise MissingRunError(
+            f"store {store.path} holds {len(state.completed)}/{len(domains)} "
+            f"sites for {kind} from {vantage.country_code}; re-run with "
+            "--store to complete it"
+        )
+    partial = store.load_log(state.run_id)
+    fetch_before = _cache_snapshot(universe.fetch_cache.stats)
+    parse_before = _cache_snapshot(parse_cache_stats())
+    crawler = OpenWPMCrawler(universe, vantage, epoch=epoch,
+                             keep_html=keep_html)
+    log = crawler.crawl(remaining, log=partial,
+                        checkpoint=store.checkpointer(state.run_id))
+    store.finish_run(state.run_id, stats={
+        "fetch_cache": _cache_delta(universe.fetch_cache.stats, fetch_before),
+        "parse_cache": _cache_delta(parse_cache_stats(), parse_before),
+        "resumed_from_site": len(state.completed),
+    })
+    return log

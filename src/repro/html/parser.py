@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Tuple
 from ..cache import BoundedCache, content_key
 from .dom import Element, VOID_TAGS
 
-__all__ = ["parse_html", "parse_html_cached"]
+__all__ = ["parse_html", "parse_html_cached", "parse_cache_stats"]
 
 #: Elements whose open instance is implicitly closed by a sibling of the
 #: same tag (enough recovery for the generator's output and common HTML).
@@ -93,3 +93,8 @@ def parse_html_cached(markup: str) -> Element:
     return _PARSE_CACHE.get_or_create(
         content_key(markup), lambda: parse_html(markup)
     )
+
+
+def parse_cache_stats():
+    """Hit/miss counters of the process-wide parse cache."""
+    return _PARSE_CACHE.stats

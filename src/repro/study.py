@@ -16,6 +16,7 @@ Typical use::
 from __future__ import annotations
 
 import threading
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .browser.events import CrawlLog
@@ -81,17 +82,34 @@ class Study:
         vantage_points: Optional[VantagePointManager] = None,
         home_country: str = "ES",
         parallelism: Optional[int] = None,
+        store: Optional[object] = None,
+        store_only: bool = False,
     ) -> None:
         """``parallelism`` bounds how many independent crawls run at once
         (default ``os.cpu_count()``).  ``parallelism=1`` reproduces the
         historical strictly-sequential evaluation order exactly; any
         value produces bit-identical results, because only whole crawls
         (each owning its cookie jar) and pure per-log analyses fan out.
+
+        ``store`` (a :class:`~repro.datastore.CrawlStore` or a path)
+        persists every crawl and hydrates already-stored ones, making an
+        interrupted study resumable at per-site granularity.
+        ``store_only=True`` is the ``repro report`` contract: analyses
+        hydrate exclusively from stored logs, and a missing crawl raises
+        :class:`~repro.datastore.MissingRunError` instead of touching a
+        browser.
         """
         self.universe = universe
         self.vantage_points = vantage_points or VantagePointManager()
         self.home_country = home_country
         self.parallelism = max(1, int(parallelism or default_parallelism()))
+        if isinstance(store, (str, Path)):
+            from .datastore import CrawlStore
+            store = CrawlStore(str(store))
+        self.store = store
+        self.store_only = store_only
+        if store_only and store is None:
+            raise ValueError("store_only=True requires a store")
         self._cache: Dict[str, object] = {}
         self._cache_lock = threading.Lock()
         self._key_locks: Dict[str, threading.Lock] = {}
@@ -102,10 +120,11 @@ class Study:
         config: Optional[UniverseConfig] = None,
         *,
         parallelism: Optional[int] = None,
+        store: Optional[object] = None,
     ) -> "Study":
         """Construct the universe and wrap it in a study."""
         return cls(build_universe(config or UniverseConfig()),
-                   parallelism=parallelism)
+                   parallelism=parallelism, store=store)
 
     def _memo(self, key: str, factory):
         """Thread-safe memoization: one factory run per key, ever.
@@ -167,6 +186,21 @@ class Study:
     # Crawls
     # ------------------------------------------------------------------
 
+    #: Datastore run kinds shared by the sequential accessors and the
+    #: executor specs, so both paths land on the same manifest rows.
+    _PORN_KIND = "openwpm:porn"
+    _REGULAR_KIND = "openwpm:regular"
+
+    def _stored_crawl(self, country: str, kind: str,
+                      domains: Sequence[str], *, keep_html: bool) -> CrawlLog:
+        from .datastore import stored_crawl
+
+        return stored_crawl(
+            self.store, self.universe, self.vantage_points.point(country),
+            kind, domains, keep_html=keep_html,
+            allow_crawl=not self.store_only,
+        )
+
     def porn_log(self, country: Optional[str] = None) -> CrawlLog:
         country = country or self.home_country
 
@@ -174,6 +208,10 @@ class Study:
             # HTML is kept for every country so one crawl serves both the
             # geography analyses and the banner detector (§6 + §7.1 share
             # the crawl instead of re-crawling with a throwaway session).
+            if self.store is not None:
+                return self._stored_crawl(country, self._PORN_KIND,
+                                          self.corpus_domains(),
+                                          keep_html=True)
             crawler = OpenWPMCrawler(
                 self.universe, self.vantage_points.point(country),
                 keep_html=True,
@@ -184,6 +222,11 @@ class Study:
 
     def regular_log(self) -> CrawlLog:
         def crawl() -> CrawlLog:
+            if self.store is not None:
+                return self._stored_crawl(
+                    self.home_country, self._REGULAR_KIND,
+                    self.universe.reference_regular_corpus(), keep_html=False,
+                )
             crawler = OpenWPMCrawler(
                 self.universe, self.vantage_points.point(self.home_country),
                 keep_html=False,
@@ -202,6 +245,7 @@ class Study:
             self.vantage_points,
             parallelism=self.parallelism,
             classifier=self._cache.get("ats_classifier"),
+            store=self.store,
         )
 
     def _porn_spec(self, country: str,
@@ -212,6 +256,7 @@ class Study:
             domains=tuple(self.corpus_domains()),
             keep_html=True,
             analyses=tuple(analyses),
+            store_kind=self._PORN_KIND,
         )
 
     def _regular_spec(self, analyses: Sequence[str] = ()) -> CrawlSpec:
@@ -221,6 +266,7 @@ class Study:
             domains=tuple(self.universe.reference_regular_corpus()),
             keep_html=False,
             analyses=tuple(analyses),
+            store_kind=self._REGULAR_KIND,
         )
 
     def _seed_outcome(self, outcome: CrawlOutcome) -> None:
@@ -259,6 +305,11 @@ class Study:
         """
         if self.parallelism <= 1:
             return
+        if self.store_only:
+            # Hydration from the store is pure I/O; the sequential
+            # accessors handle it (and raise MissingRunError with a
+            # useful message when a crawl is absent).
+            return
         specs: List[CrawlSpec] = []
         for country in countries or self.vantage_points.country_codes:
             if not self._memoized(f"porn_log:{country}"):
@@ -276,13 +327,44 @@ class Study:
             self._seed_outcome(outcome)
 
     def inspections(self) -> List[SiteInspection]:
-        """Interaction-crawler pass over the whole corpus (home country)."""
+        """Interaction-crawler pass over the whole corpus (home country).
+
+        With a store attached the pass is persisted as a pickled
+        artifact keyed like a run (config + vantage + crawler kind), so
+        ``repro report`` can render the policy/business tables without
+        re-running the interaction crawler.
+        """
 
         def inspect() -> List[SiteInspection]:
+            artifact_key = None
+            if self.store is not None:
+                import pickle
+
+                from .datastore import MissingRunError, run_key
+
+                artifact_key = run_key(
+                    self.universe.config,
+                    self.vantage_points.point(self.home_country),
+                    "selenium:inspections",
+                )
+                payload = self.store.get_artifact(artifact_key)
+                if payload is not None:
+                    return pickle.loads(payload)
+                if self.store_only:
+                    raise MissingRunError(
+                        f"store {self.store.path} holds no inspection pass; "
+                        "re-run `repro study --store` to record it"
+                    )
             crawler = SeleniumCrawler(
                 self.universe, self.vantage_points.point(self.home_country)
             )
-            return [crawler.inspect(domain) for domain in self.corpus_domains()]
+            results = [crawler.inspect(domain)
+                       for domain in self.corpus_domains()]
+            if artifact_key is not None:
+                import pickle
+                self.store.put_artifact(artifact_key,
+                                        pickle.dumps(results, protocol=4))
+            return results
 
         return self._memo("inspections", inspect)
 

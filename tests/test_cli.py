@@ -26,6 +26,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["crawl", "--country", "BR"])
 
+    def test_store_flag(self):
+        args = build_parser().parse_args(
+            ["study", "--store", "/tmp/crawl.db"]
+        )
+        assert args.store == "/tmp/crawl.db"
+
+    def test_report_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
+    def test_store_info_args(self):
+        args = build_parser().parse_args(["store", "info", "x.db", "-v"])
+        assert args.path == "x.db"
+        assert args.verbose
+
 
 class TestCommands:
     def test_corpus_command(self, capsys):
@@ -44,5 +59,6 @@ class TestCommands:
     def test_study_command(self, capsys):
         assert main(["study", "--scale", "0.02", "--seed", "3"]) == 0
         out = capsys.readouterr().out
-        for marker in ("Table 2", "Table 4", "Figure 4", "Table 8"):
+        for marker in ("Table 2", "Table 4", "Figure 4", "Table 5",
+                       "§5.3 malware", "Table 6", "Table 8"):
             assert marker in out
