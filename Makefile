@@ -2,7 +2,7 @@ PYTHON ?= python
 SCALE ?= 0.2
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick profile store-check
+.PHONY: test bench bench-quick profile store-check parallel-check
 
 ## Run the tier-1 test suite.
 test:
@@ -18,6 +18,27 @@ bench:
 bench-quick:
 	$(PYTHON) benchmarks/test_perf_pipeline.py --scale 0.02 \
 		--parallelism-set 1 --output BENCH_quick.json
+	$(PYTHON) -c "import json; \
+	d = json.load(open('BENCH_quick.json')); \
+	assert d['schema'] == 'bench-pipeline/v3', d['schema']; \
+	stages = d['runs'][0]['stages']; \
+	wanted = ('analysis:table2', 'analysis:geography', 'analysis:banners', \
+	          'analysis:owners', 'analysis:policies', 'analysis:all'); \
+	missing = [k for k in wanted if k not in stages]; \
+	assert not missing, f'missing analysis stages: {missing}'; \
+	print('bench-quick: schema v3, all analysis:* stages present')"
+
+## Scheduler identity check (used by CI): the rendered study must be
+## byte-identical across --parallelism 1 and 2, and --stats must report
+## the sparse similarity engine's counters.
+parallel-check:
+	$(PYTHON) -m repro study --scale 0.02 --parallelism 1 \
+		> /tmp/repro-serial.out
+	$(PYTHON) -m repro study --scale 0.02 --parallelism 2 \
+		> /tmp/repro-parallel.out
+	diff /tmp/repro-serial.out /tmp/repro-parallel.out
+	$(PYTHON) -m repro study --scale 0.02 --parallelism 2 --stats \
+		| grep "similarity engine:"
 
 ## Store replay check (used by CI): run a scale-0.02 study into a fresh
 ## datastore, re-render everything from the store alone, and require the

@@ -1,7 +1,7 @@
 """End-to-end pipeline timing: universe build, crawls, analysis stages.
 
 Writes machine-readable ``BENCH_pipeline.json`` at the repo root with one
-entry per parallelism setting (schema ``bench-pipeline/v2``: stage ->
+entry per parallelism setting (schema ``bench-pipeline/v3``: stage ->
 seconds, plus scale, parallelism, and per-run crawl **throughput** —
 pages/sec and requests/sec over the crawl:all wall time).  Single-crawl
 throughput is the headline metric: wall-clock speedup across parallelism
@@ -12,6 +12,19 @@ subprocess**: forking a worker pool from a process that already ran a
 large sequential study inflates copy-on-write page faults and would make
 the parallel run look slower than it is, so configs never share a
 process.
+
+Schema v3 adds the analysis layer: an ``analysis:*`` stage breakdown
+(tables, geography, banners, owners, policies, and ``analysis:all``),
+an **analysis-docs/sec** headline (documents consumed by the analyses —
+crawled pages plus collected policies — over the ``analysis:all`` wall
+time), per-run ``peak_rss_mb`` (``ru_maxrss``, so the sparse similarity
+engine's memory win is recorded), a ``similarity`` block timing the
+sparse engine against the retained dense/linear references on the same
+policy corpus, and a ``banner_detection`` block timing the prefiltered
+detector against the historical parse-every-page walk on the same
+landing pages.  The top-level ``analysis_speedup`` compares
+``analysis:all`` against the measured pre-optimization counterfactual
+(dense similarity + unfiltered banner detection on identical inputs).
 
 Run standalone (no pytest needed)::
 
@@ -27,6 +40,7 @@ test stays quick)::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import pathlib
@@ -36,8 +50,214 @@ import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_pipeline.json"
-SCHEMA = "bench-pipeline/v2"
+SCHEMA = "bench-pipeline/v3"
 DEFAULT_COUNTRIES = ("ES", "US", "UK", "RU", "IN", "SG")
+
+#: Document cap for the dict-cosine reference in the similarity
+#: comparison: the linear path is O(n² · terms) pure Python and exists
+#: only as a parity/speedup reference, so it runs on a subset.
+STREAM_REFERENCE_DOCS = 120
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    divisor = 2 ** 20 if sys.platform == "darwin" else 2 ** 10
+    return round(peak / divisor, 1)
+
+
+def _time_similarity_references(study) -> dict:
+    """Sparse engine vs. the retained dense/linear references.
+
+    All three routed consumers are measured on the corpora the study
+    actually feeds them: §7.3 fraction counting and the pair stream on
+    the collected valid policies, §4.1 candidate discovery on the
+    owner-stage policy texts.  The dense/linear numbers are what the
+    pre-sparse implementations cost on the same inputs.
+    """
+    clock = time.perf_counter
+    from repro.core.compliance.policies import (
+        pairwise_similarity_fractions,
+        pairwise_similarity_fractions_dense,
+    )
+    from repro.core.owners import (
+        _policy_similarity_pairs,
+        _policy_similarity_pairs_dense,
+    )
+    from repro.text.sparse import engine_stats
+    from repro.text.tfidf import (
+        pairwise_similarities,
+        pairwise_similarities_linear,
+    )
+
+    texts = [policy.text for policy in study.policies().valid_policies]
+    owner_texts = [
+        inspection.policy.text for inspection in study.inspections()
+        if inspection.reachable and inspection.policy.link_found
+        and inspection.policy.fetched_ok
+    ]
+
+    start = clock()
+    fraction_sparse = pairwise_similarity_fractions(texts)
+    fractions_sparse_s = clock() - start
+    start = clock()
+    fraction_dense = pairwise_similarity_fractions_dense(texts)
+    fractions_dense_s = clock() - start
+    assert fraction_sparse[1] == fraction_dense[1]
+    assert abs(fraction_sparse[0] - fraction_dense[0]) < 1e-9
+
+    start = clock()
+    pairs_sparse = _policy_similarity_pairs(None, owner_texts, threshold=0.9)
+    pairs_sparse_s = clock() - start
+    start = clock()
+    pairs_dense = _policy_similarity_pairs_dense(None, owner_texts,
+                                                 threshold=0.9)
+    pairs_dense_s = clock() - start
+    assert pairs_sparse == pairs_dense
+
+    stream_docs = texts[:STREAM_REFERENCE_DOCS]
+    start = clock()
+    for _ in pairwise_similarities(stream_docs):
+        pass
+    stream_sparse_s = clock() - start
+    start = clock()
+    for _ in pairwise_similarities_linear(stream_docs):
+        pass
+    stream_linear_s = clock() - start
+
+    sparse_total = fractions_sparse_s + pairs_sparse_s + stream_sparse_s
+    reference_total = fractions_dense_s + pairs_dense_s + stream_linear_s
+    return {
+        "policy_docs": len(texts),
+        "owner_docs": len(owner_texts),
+        "stream_docs": len(stream_docs),
+        "pair_count": fraction_sparse[1],
+        "engine": engine_stats().snapshot(),
+        "fractions": {
+            "sparse_seconds": round(fractions_sparse_s, 4),
+            "dense_seconds": round(fractions_dense_s, 4),
+        },
+        "owner_pairs": {
+            "sparse_seconds": round(pairs_sparse_s, 4),
+            "dense_seconds": round(pairs_dense_s, 4),
+        },
+        "stream": {
+            "sparse_seconds": round(stream_sparse_s, 4),
+            "linear_seconds": round(stream_linear_s, 4),
+        },
+        "sparse_seconds": round(sparse_total, 4),
+        "reference_seconds": round(reference_total, 4),
+        "speedup": round(reference_total / sparse_total, 2)
+        if sparse_total else None,
+    }
+
+
+def _time_partylabel_reference(study, countries) -> dict:
+    """Shipped party-labeling similarity path vs. the pre-memo reference.
+
+    ``label_parties`` re-runs over every log the analyses consume — once
+    through the shipped path (cross-call pair memo + character-multiset
+    prefilter; caches cleared first so the timing matches the cold
+    in-run cost) and once through the historical per-call banded DP
+    (no memo, no prefilter) — asserting identical labels.
+    """
+    clock = time.perf_counter
+    import math
+
+    from repro.core import partylabel
+    from repro.text import levenshtein
+
+    logs = [study.porn_log(country) for country in countries]
+    logs.append(study.regular_log())
+    cert_lookup = study.universe.certificate_for
+
+    partylabel._domains_similar_cached.cache_clear()
+    levenshtein._char_counts.cache_clear()
+    start = clock()
+    fast = [partylabel.label_parties(log, cert_lookup=cert_lookup)
+            for log in logs]
+    fast_s = clock() - start
+
+    def reference_domains_similar(a, b, threshold):
+        # The pre-memo implementation: lower + strip www, then the
+        # banded DP on every call, with no cross-call reuse and no
+        # multiset lower-bound rejection.
+        a = a.lower()
+        b = b.lower()
+        if a.startswith("www."):
+            a = a[4:]
+        if b.startswith("www."):
+            b = b[4:]
+        if a == b:
+            return True
+        longest = max(len(a), len(b))
+        cutoff = max(0, math.ceil((1.0 - threshold) * longest))
+        distance = levenshtein.levenshtein_distance(a, b,
+                                                    max_distance=cutoff)
+        if distance > cutoff:
+            return False
+        return 1.0 - distance / longest > threshold
+
+    original = partylabel._domains_similar
+    partylabel._domains_similar = reference_domains_similar
+    try:
+        start = clock()
+        reference = [partylabel.label_parties(log, cert_lookup=cert_lookup)
+                     for log in logs]
+        reference_s = clock() - start
+    finally:
+        partylabel._domains_similar = original
+    assert fast == reference
+
+    return {
+        "logs": len(logs),
+        "fast_seconds": round(fast_s, 4),
+        "reference_seconds": round(reference_s, 4),
+        "speedup": round(reference_s / fast_s, 2) if fast_s else None,
+    }
+
+
+def _time_banner_reference(study, countries) -> dict:
+    """Prefiltered banner detector vs. the historical full walk.
+
+    Both run over every successfully crawled landing page the Table 8
+    stage actually consumes (all per-country logs), asserting identical
+    observations page by page.  The reference parses every page fresh,
+    exactly as the pre-optimization detector did.
+    """
+    clock = time.perf_counter
+    from repro.core.compliance.banners import (
+        detect_banner,
+        detect_banner_unfiltered,
+    )
+
+    pages = []
+    for country in countries:
+        log = study.porn_log(country)
+        pages.extend(
+            (visit.site_domain, visit.html)
+            for visit in log.successful_visits() if visit.html
+        )
+
+    start = clock()
+    reference = [detect_banner_unfiltered(html, domain)
+                 for domain, html in pages]
+    reference_s = clock() - start
+    start = clock()
+    fast = [detect_banner(html, domain) for domain, html in pages]
+    fast_s = clock() - start
+    assert fast == reference
+
+    return {
+        "pages": len(pages),
+        "banners": sum(1 for observation in fast if observation is not None),
+        "fast_seconds": round(fast_s, 4),
+        "reference_seconds": round(reference_s, 4),
+        "speedup": round(reference_s / fast_s, 2) if fast_s else None,
+    }
 
 
 # --------------------------------------------------------------------------
@@ -53,7 +273,11 @@ def run_pipeline(scale: float, parallelism: int, countries=DEFAULT_COUNTRIES):
     in sequential mode, and ``analysis:*`` for the downstream reports.
     """
     from repro import Study, UniverseConfig
-    from repro.reporting.tables import render_table2, render_table7
+    from repro.reporting.tables import (
+        render_table1,
+        render_table2,
+        render_table7,
+    )
     from repro.webgen.builder import build_universe
 
     stages: dict = {}
@@ -84,6 +308,29 @@ def run_pipeline(scale: float, parallelism: int, countries=DEFAULT_COUNTRIES):
     requests = sum(len(log.requests) for log in logs)
     crawl_seconds = stages["crawl:all"]
 
+    # The Selenium interaction pass is a crawl, not an analysis; time it
+    # separately so the analysis:* stages measure pure computation.
+    start = clock()
+    study.inspections()
+    stages["crawl:inspections"] = clock() - start
+
+    # The analyses allocate small objects against a heap that now holds
+    # every crawl log; left alone, a generational GC pass lands in
+    # whichever stage happens to cross the threshold and dominates its
+    # timing.  Freeze the crawl-phase heap so the stage numbers measure
+    # the analyses themselves (the reference counterfactuals below run
+    # in the same frozen-heap regime, so comparisons stay fair).
+    gc.collect()
+    gc.freeze()
+
+    analysis_start = clock()
+    if parallelism > 1:
+        # Fan the independent analyses across the thread pool; the
+        # per-stage timings below then measure memo reads.
+        start = clock()
+        study.prefetch_analyses(countries, geo=True)
+        stages["analysis:prefetch"] = clock() - start
+
     start = clock()
     table2 = study.table2()
     render_table2(table2)
@@ -99,6 +346,23 @@ def run_pipeline(scale: float, parallelism: int, countries=DEFAULT_COUNTRIES):
     assert set(reports) == set(countries)
     stages["analysis:banners"] = clock() - start
 
+    start = clock()
+    owners = study.owners()
+    render_table1(owners, study.best_rank)
+    stages["analysis:owners"] = clock() - start
+
+    start = clock()
+    policy_report = study.policies()
+    assert policy_report.pair_count >= 0
+    stages["analysis:policies"] = clock() - start
+
+    stages["analysis:all"] = clock() - analysis_start
+    analysis_docs = pages + len(policy_report.valid_policies)
+
+    similarity = _time_similarity_references(study)
+    banner_detection = _time_banner_reference(study, countries)
+    party_labeling = _time_partylabel_reference(study, countries)
+
     cpu_count = os.cpu_count() or 1
     run = {
         "scale": scale,
@@ -113,9 +377,22 @@ def run_pipeline(scale: float, parallelism: int, countries=DEFAULT_COUNTRIES):
             "requests_per_sec": round(requests / crawl_seconds, 2)
             if crawl_seconds else None,
         },
+        "analysis_throughput": {
+            "docs": analysis_docs,
+            "docs_per_sec": round(analysis_docs / stages["analysis:all"], 2)
+            if stages["analysis:all"] else None,
+        },
+        "similarity": similarity,
+        "banner_detection": banner_detection,
+        "party_labeling": party_labeling,
+        "peak_rss_mb": _peak_rss_mb(),
+        # Per-country crawl detail and the analysis:all rollup are
+        # excluded: their components are already in the sum.
         "total_seconds": round(sum(
             seconds for name, seconds in stages.items()
-            if not name.startswith("crawl:") or name == "crawl:all"
+            if (not name.startswith("crawl:")
+                or name in ("crawl:all", "crawl:inspections"))
+            and name != "analysis:all"
         ), 4),
     }
     if parallelism > cpu_count:
@@ -160,8 +437,35 @@ def run_benchmark(scale: float, parallelism_set=(1, 4),
     }
     baseline = next((r for r in runs if r["parallelism"] == 1), None)
     if baseline is not None:
-        # Headline: single-crawl throughput from the sequential run.
+        # Headlines: single-crawl throughput and analysis docs/sec from
+        # the sequential run, plus the sparse-vs-reference comparison.
         document["single_crawl_throughput"] = baseline["throughput"]
+        document["analysis_throughput"] = baseline["analysis_throughput"]
+        similarity = baseline["similarity"]
+        banners = baseline["banner_detection"]
+        labeling = baseline["party_labeling"]
+        document["similarity_speedup"] = similarity["speedup"]
+        document["banner_detection_speedup"] = banners["speedup"]
+        document["party_labeling_speedup"] = labeling["speedup"]
+        # Measured counterfactual: analysis:all with the sparse
+        # similarity calls swapped back to the dense/linear references,
+        # the banner stage swapped back to the unfiltered
+        # parse-every-page walk, and party labeling swapped back to the
+        # per-call DP — each pair timed in-run on identical inputs, so
+        # the ratio is insensitive to how fast the host happens to be.
+        analysis_all = baseline["stages"]["analysis:all"]
+        reference_all = analysis_all \
+            - similarity["sparse_seconds"] \
+            + similarity["reference_seconds"] \
+            - baseline["stages"]["analysis:banners"] \
+            + banners["reference_seconds"] \
+            - labeling["fast_seconds"] \
+            + labeling["reference_seconds"]
+        document["analysis_all_seconds"] = round(analysis_all, 4)
+        document["analysis_all_reference_seconds"] = round(reference_all, 4)
+        if analysis_all > 0:
+            document["analysis_speedup"] = \
+                round(reference_all / analysis_all, 2)
         for run in runs:
             if run["parallelism"] != 1 and run["total_seconds"] > 0:
                 document[f"speedup_x{run['parallelism']}"] = round(
@@ -185,13 +489,24 @@ def test_perf_pipeline():
     assert {run["parallelism"] for run in document["runs"]} == {1, 4}
     assert document["single_crawl_throughput"]["pages_per_sec"] > 0
     assert document["single_crawl_throughput"]["requests_per_sec"] > 0
+    assert document["analysis_throughput"]["docs_per_sec"] > 0
+    assert document["similarity_speedup"] is not None
+    assert document["banner_detection_speedup"] is not None
+    assert document["party_labeling_speedup"] is not None
+    assert document["analysis_speedup"] is not None
     cpu_count = os.cpu_count() or 1
     for run in document["runs"]:
         assert run["stages"]["universe_build"] > 0
         assert run["stages"]["crawl:all"] > 0
+        for stage in ("analysis:table2", "analysis:geography",
+                      "analysis:banners", "analysis:owners",
+                      "analysis:policies", "analysis:all"):
+            assert stage in run["stages"], stage
         assert run["total_seconds"] > 0
         assert run["throughput"]["pages"] > 0
         assert run["throughput"]["requests"] > run["throughput"]["pages"]
+        assert run["peak_rss_mb"] > 0
+        assert run["analysis_throughput"]["docs"] > 0
         if run["parallelism"] > cpu_count:
             assert run["parallelism_exceeds_cpus"] is True
     print(json.dumps(document, indent=2))

@@ -23,6 +23,7 @@ from .policies import (
     collect_policies,
     extract_disclosures,
     pairwise_similarity_fractions,
+    pairwise_similarity_fractions_dense,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "collect_policies",
     "extract_disclosures",
     "pairwise_similarity_fractions",
+    "pairwise_similarity_fractions_dense",
 ]

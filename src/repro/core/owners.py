@@ -20,10 +20,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..html.parser import parse_html
+from ..html.parser import parse_html_cached
 from ..html.query import head, meta_tags
 from ..net.tls import Certificate
-from .compliance.policies import pairwise_similarity_fractions
 
 __all__ = [
     "OwnerCluster",
@@ -77,7 +76,16 @@ def extract_policy_company(text: str) -> Optional[str]:
 
 def extract_head_organization(html: str) -> Optional[str]:
     """Owner evidence in ``<head>``: copyright meta or network CMS tag."""
-    document = parse_html(html)
+    # Only <head> metadata is consulted and the renderer always emits a
+    # literal "</head>", so parsing stops there: landing-page bodies are
+    # many times the head's size and never carry owner evidence (the
+    # only body meta the universe produces is the RTA label).  Markup
+    # without a head terminator falls back to the full parse.
+    head_end = html.find("</head>")
+    if head_end != -1:
+        html = html[: head_end + len("</head>")]
+    # Read-only queries only, so the shared parse cache is safe.
+    document = parse_html_cached(html)
     head_element = head(document)
     if head_element is None:
         return None
@@ -134,7 +142,28 @@ class OwnerReport:
 def _policy_similarity_pairs(
     sites: Sequence[str], texts: Sequence[str], *, threshold: float
 ) -> List[Tuple[int, int]]:
-    """Candidate same-owner pairs from policy TF-IDF (vectorized)."""
+    """Candidate same-owner pairs from policy TF similarity.
+
+    Log-TF weighting without IDF, exactly as the historical dense
+    implementation (retained as :func:`_policy_similarity_pairs_dense`),
+    but streamed from the blocked sparse gram kernel: no
+    ``(n × vocab)`` matrix, no ``n × n`` gram, and no ``np.triu``
+    boolean mask are ever allocated.  Pair order (row-major upper
+    triangle) is unchanged.
+    """
+    if len(texts) < 2:
+        return []
+    from ..text.sparse import SimilarityEngine
+
+    engine = SimilarityEngine(use_idf=False).fit(texts)
+    return list(engine.similar_pairs(threshold))
+
+
+def _policy_similarity_pairs_dense(
+    sites: Sequence[str], texts: Sequence[str], *, threshold: float
+) -> List[Tuple[int, int]]:
+    """Historical dense-matrix reference for the discovery stage
+    (kept for parity tests and the benchmark's before/after measure)."""
     n = len(texts)
     if n < 2:
         return []

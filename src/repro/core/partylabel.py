@@ -18,6 +18,7 @@ chain pruning described in §3.1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..browser.events import CrawlLog, RequestRecord
@@ -28,6 +29,27 @@ from ..text.levenshtein import domains_similar
 __all__ = ["PartyLabels", "label_parties"]
 
 CertLookup = Callable[[str], Optional[Certificate]]
+
+
+@lru_cache(maxsize=65536)
+def _domains_similar_cached(a: str, b: str, threshold: float) -> bool:
+    """Memoized banded-Levenshtein similarity on a normalized pair.
+
+    The same third-party registrable domain is re-compared against the
+    same first party for every request it serves across a study's logs;
+    the pair is order-normalized (similarity is symmetric) and lowered
+    before keying, so the cache collapses all of that repeated DP work
+    without changing a single verdict.
+    """
+    return domains_similar(a, b, threshold=threshold)
+
+
+def _domains_similar(a: str, b: str, threshold: float) -> bool:
+    a = a.lower()
+    b = b.lower()
+    if b < a:
+        a, b = b, a
+    return _domains_similar_cached(a, b, threshold)
 
 
 @dataclass
@@ -97,7 +119,7 @@ def _is_first_party(
             return True
         if page_cert is not None and certificate_matches_host(page_cert, fqdn):
             return True
-    return domains_similar(fqdn_base, page_base, threshold=threshold)
+    return _domains_similar(fqdn_base, page_base, threshold)
 
 
 def _is_direct(record: RequestRecord) -> bool:

@@ -16,8 +16,9 @@ Typical use::
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .browser.events import CrawlLog
 from .core.ats import ATSClassifier, ATSResult
@@ -325,6 +326,112 @@ class Study:
             self.ats_classifier()  # build once, pre-fork, shared by workers
         for outcome in self._executor().run(specs):
             self._seed_outcome(outcome)
+
+    # -- parallel analysis fan-out --------------------------------------
+
+    #: Table 8 renders the home-jurisdiction banner report against the
+    #: US one, so both crawls/analyses are part of the full-study set.
+    _BANNER_COUNTRIES = ("ES", "US")
+
+    def _analysis_tasks(
+        self, *, geo: bool = False,
+        countries: Optional[Sequence[str]] = None,
+    ) -> List[Tuple[str, Callable[[], object]]]:
+        """``(name, thunk)`` for every analysis the full study renders.
+
+        The list is ordered exactly as the lazy renderer
+        (``repro study``) pulls results, so evaluating it front-to-back
+        with ``parallelism=1`` reproduces today's serial evaluation
+        order; each thunk is also independently safe to run from a
+        worker thread because every shared intermediate sits behind a
+        :meth:`_memo` key lock.
+        """
+        tasks: List[Tuple[str, Callable[[], object]]] = [
+            ("popularity", self.popularity),
+            ("owners", self.owners),
+            ("table2", self.table2),
+            ("table3", self.table3),
+            ("crawled_popularity", self.crawled_popularity),
+            ("porn_attribution", self.porn_attribution),
+            ("regular_attribution", self.regular_attribution),
+            ("cookie_stats", self.cookie_stats),
+            ("cookie_sync", self.cookie_sync),
+            ("fingerprinting", self.fingerprinting),
+            ("https", self.https_report),
+            ("malware", self.malware),
+        ]
+        if geo:
+            geo_countries = tuple(countries
+                                  or self.vantage_points.country_codes)
+            tasks.append(
+                ("geography", lambda: self.geography(geo_countries))
+            )
+        for country in self._BANNER_COUNTRIES:
+            tasks.append(
+                (f"banners:{country}",
+                 lambda c=country: self.banners(c))
+            )
+        return tasks
+
+    def prefetch_analyses(
+        self,
+        countries: Optional[Sequence[str]] = None,
+        *,
+        geo: bool = False,
+    ) -> None:
+        """Fan the independent analyses across a thread pool.
+
+        Crawls fan out first through :meth:`prefetch_crawls` (process
+        pool); the remaining analyses — per-country banner reports,
+        per-log labels/ATS, and the table builders — are pure functions
+        of memoized inputs and fan out ``parallelism`` threads wide.
+        Shared intermediates (a log, the ATS classifier, the Selenium
+        inspection pass) are computed exactly once regardless of
+        scheduling: every dependency is resolved through
+        :meth:`_memo`, whose per-key locks serialize the first
+        computation and hand every other thread the same object.
+        Results are bit-identical to the sequential path because each
+        memo value is a pure function of the universe and the crawl
+        logs — scheduling changes who computes a value first, never the
+        value.  With ``parallelism=1`` this is a no-op.
+        """
+        if self.parallelism <= 1:
+            return
+        crawl_countries = [self.home_country]
+        for country in self._BANNER_COUNTRIES:
+            if country not in crawl_countries:
+                crawl_countries.append(country)
+        if geo:
+            for country in (countries or self.vantage_points.country_codes):
+                if country not in crawl_countries:
+                    crawl_countries.append(country)
+        self.prefetch_crawls(crawl_countries)
+        tasks = self._analysis_tasks(geo=geo, countries=countries)
+        with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
+            futures = [pool.submit(thunk) for _, thunk in tasks]
+            for future in futures:
+                future.result()  # re-raise the first failure in task order
+
+    def run_all(
+        self,
+        countries: Optional[Sequence[str]] = None,
+        *,
+        geo: bool = False,
+    ) -> None:
+        """Evaluate everything the full study output needs.
+
+        ``parallelism=1`` runs each analysis serially in exactly the
+        order the lazy renderer would pull it; ``parallelism>1`` fans
+        crawls across the process pool and analyses across a thread
+        pool.  Either way the results land in the memo, so rendering
+        afterwards is pure cache reads — byte-identical across
+        parallelism settings.
+        """
+        if self.parallelism > 1:
+            self.prefetch_analyses(countries, geo=geo)
+            return
+        for _, thunk in self._analysis_tasks(geo=geo, countries=countries):
+            thunk()
 
     def inspections(self) -> List[SiteInspection]:
         """Interaction-crawler pass over the whole corpus (home country).

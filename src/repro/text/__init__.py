@@ -13,7 +13,13 @@ from .langs import (
     matching_keywords,
 )
 from .levenshtein import domains_similar, levenshtein_distance, similarity
-from .tfidf import TfIdfVectorizer, cosine_similarity, pairwise_similarities
+from .sparse import CsrMatrix, SimilarityEngine, engine_stats
+from .tfidf import (
+    TfIdfVectorizer,
+    cosine_similarity,
+    pairwise_similarities,
+    pairwise_similarities_linear,
+)
 from .tokenize import term_counts, tokenize
 
 __all__ = [
@@ -30,9 +36,13 @@ __all__ = [
     "domains_similar",
     "levenshtein_distance",
     "similarity",
+    "CsrMatrix",
+    "SimilarityEngine",
+    "engine_stats",
     "TfIdfVectorizer",
     "cosine_similarity",
     "pairwise_similarities",
+    "pairwise_similarities_linear",
     "term_counts",
     "tokenize",
 ]

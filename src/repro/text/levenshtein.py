@@ -9,9 +9,29 @@ within similarity 0.7 of the host website's FQDN, grouping e.g.
 from __future__ import annotations
 
 import math
+from collections import Counter
+from functools import lru_cache
 from typing import Optional, Sequence
 
 __all__ = ["levenshtein_distance", "similarity", "domains_similar"]
+
+
+@lru_cache(maxsize=65536)
+def _char_counts(value: str) -> Counter:
+    return Counter(value)
+
+
+def _common_chars(a: str, b: str) -> int:
+    """Size of the character multiset intersection of two strings."""
+    counts_a = _char_counts(a)
+    counts_b = _char_counts(b)
+    if len(counts_a) > len(counts_b):
+        counts_a, counts_b = counts_b, counts_a
+    common = 0
+    for char, count in counts_a.items():
+        other = counts_b.get(char, 0)
+        common += count if count < other else other
+    return common
 
 
 def levenshtein_distance(
@@ -88,6 +108,13 @@ def domains_similar(a: str, b: str, *, threshold: float = 0.7) -> bool:
     # comparison below is bit-identical to the unbanded implementation.
     longest = max(len(a), len(b))
     cutoff = max(0, math.ceil((1.0 - threshold) * longest))
+    # Multiset lower bound, far cheaper than the DP: an edit script of d
+    # operations leaves >= max(|a|,|b|) - d characters copied verbatim,
+    # and a copied subsequence can never exceed the character multiset
+    # intersection — so distance >= longest - common.  Unrelated domain
+    # pairs (the vast majority) exit here without touching the DP.
+    if longest - _common_chars(a, b) > cutoff:
+        return False
     distance = levenshtein_distance(a, b, max_distance=cutoff)
     if distance > cutoff:
         return False

@@ -20,7 +20,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .tokenize import term_counts
 
-__all__ = ["TfIdfVectorizer", "cosine_similarity", "pairwise_similarities"]
+__all__ = [
+    "TfIdfVectorizer",
+    "cosine_similarity",
+    "pairwise_similarities",
+    "pairwise_similarities_linear",
+]
 
 Vector = Dict[str, float]
 
@@ -94,10 +99,29 @@ def pairwise_similarities(
 ) -> Iterable[Tuple[int, int, float]]:
     """Yield ``(i, j, similarity)`` for every unordered document pair.
 
-    This is the Section 7.3 computation (1.2M pairs in the paper); it is a
-    generator so callers can stream and aggregate without materializing the
-    full pair list.
+    This is the Section 7.3 computation (1.2M pairs in the paper); it is
+    a generator so callers can stream and aggregate without materializing
+    the full pair list.  Pairs come from the blocked sparse gram kernel
+    (:class:`~repro.text.sparse.SimilarityEngine`, same log-TF × smoothed
+    IDF weighting as :class:`TfIdfVectorizer`) in the nested-loop order
+    of the historical dict-cosine implementation, which survives as
+    :func:`pairwise_similarities_linear` for parity testing.
     """
+    from .sparse import SimilarityEngine
+
+    if vectorizer is not None:
+        min_df = vectorizer.min_df
+        vectorizer.fit(documents)  # preserve the fit side effect
+    else:
+        min_df = 1
+    engine = SimilarityEngine(min_df=min_df, use_idf=True).fit(documents)
+    return engine.iter_pairs()
+
+
+def pairwise_similarities_linear(
+    documents: Sequence[str], *, vectorizer: Optional[TfIdfVectorizer] = None
+) -> Iterable[Tuple[int, int, float]]:
+    """The historical O(n²) dict-cosine pair stream (reference path)."""
     vectorizer = vectorizer or TfIdfVectorizer()
     vectors = vectorizer.fit_transform(documents)
     for i in range(len(vectors)):
