@@ -2,7 +2,7 @@ PYTHON ?= python
 SCALE ?= 0.2
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick profile store-check parallel-check
+.PHONY: test bench bench-quick profile store-check parallel-check scale-check
 
 ## Run the tier-1 test suite.
 test:
@@ -16,17 +16,30 @@ bench:
 ## Fast sequential-only bench smoke (used by CI): scale 0.02, parallelism 1.
 ## Writes BENCH_quick.json so the checked-in BENCH_pipeline.json stays put.
 bench-quick:
+	REPRO_PERF_MEM_SCALES=0.02,0.04 \
 	$(PYTHON) benchmarks/test_perf_pipeline.py --scale 0.02 \
 		--parallelism-set 1 --output BENCH_quick.json
 	$(PYTHON) -c "import json; \
 	d = json.load(open('BENCH_quick.json')); \
-	assert d['schema'] == 'bench-pipeline/v3', d['schema']; \
+	assert d['schema'] == 'bench-pipeline/v4', d['schema']; \
 	stages = d['runs'][0]['stages']; \
 	wanted = ('analysis:table2', 'analysis:geography', 'analysis:banners', \
 	          'analysis:owners', 'analysis:policies', 'analysis:all'); \
 	missing = [k for k in wanted if k not in stages]; \
 	assert not missing, f'missing analysis stages: {missing}'; \
-	print('bench-quick: schema v3, all analysis:* stages present')"
+	assert d['runs'][0]['stage_rss_mb']['crawl:all'] > 0; \
+	memory = d['memory_scaling']; \
+	assert memory['reference_tables_match'] is True, memory; \
+	print('bench-quick: schema v4, analysis:* stages present,', \
+	      'streaming tables match reference')"
+
+## Memory-flatness gate: run the streaming probe (lazy universe, sharded
+## store, trim-mode crawl, cursor analyses) at two scales and fail if the
+## crawl-path peak RSS ratio exceeds 1.3x or the tables diverge from an
+## unsharded in-memory reference.  Scales/threshold via
+## REPRO_SCALE_CHECK_SCALES / REPRO_SCALE_CHECK_RATIO.
+scale-check:
+	$(PYTHON) benchmarks/scale_check.py
 
 ## Scheduler identity check (used by CI): the rendered study must be
 ## byte-identical across --parallelism 1 and 2, and --stats must report
@@ -44,13 +57,19 @@ parallel-check:
 ## datastore, re-render everything from the store alone, and require the
 ## two outputs to be byte-identical.
 store-check:
-	rm -f /tmp/repro-store-check.db
+	rm -rf /tmp/repro-store-check.db /tmp/repro-store-check-sharded
 	$(PYTHON) -m repro study --scale 0.02 \
 		--store /tmp/repro-store-check.db > /tmp/repro-study.out
 	$(PYTHON) -m repro report \
 		--store /tmp/repro-store-check.db > /tmp/repro-report.out
 	diff /tmp/repro-study.out /tmp/repro-report.out
+	$(PYTHON) -m repro store reshard /tmp/repro-store-check.db \
+		/tmp/repro-store-check-sharded --shards 3
+	$(PYTHON) -m repro report \
+		--store /tmp/repro-store-check-sharded > /tmp/repro-sharded.out
+	diff /tmp/repro-study.out /tmp/repro-sharded.out
 	$(PYTHON) -m repro store info /tmp/repro-store-check.db --verbose
+	$(PYTHON) -m repro store info /tmp/repro-store-check-sharded --shards
 
 ## Profile one sequential pipeline run and print the top-20 functions by
 ## total own time.

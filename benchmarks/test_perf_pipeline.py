@@ -13,7 +13,7 @@ large sequential study inflates copy-on-write page faults and would make
 the parallel run look slower than it is, so configs never share a
 process.
 
-Schema v3 adds the analysis layer: an ``analysis:*`` stage breakdown
+Schema v3 added the analysis layer: an ``analysis:*`` stage breakdown
 (tables, geography, banners, owners, policies, and ``analysis:all``),
 an **analysis-docs/sec** headline (documents consumed by the analyses —
 crawled pages plus collected policies — over the ``analysis:all`` wall
@@ -25,6 +25,18 @@ detector against the historical parse-every-page walk on the same
 landing pages.  The top-level ``analysis_speedup`` compares
 ``analysis:all`` against the measured pre-optimization counterfactual
 (dense similarity + unfiltered banner detection on identical inputs).
+
+Schema v4 adds the memory axis.  Every run carries ``stage_rss_mb`` —
+the process RSS high-water mark sampled after each pipeline stage, so a
+stage that balloons memory is attributable — and the document gains a
+``memory_scaling`` block: the *streaming* configuration (lazy universe,
+sharded store, trim-mode crawl, cursor-fed analyses) run at increasing
+scales in fresh subprocesses, recording peak RSS per scale and the
+RSS ratio across them.  The streaming run's Tables 2/4/6 are hashed and
+compared against an eager-universe, in-memory reference at the smallest
+scale, so the block also certifies that the bounded-memory path is
+byte-identical, not merely cheap.  Probe scales come from
+``REPRO_PERF_MEM_SCALES`` (comma-separated, default ``0.05,0.1``).
 
 Run standalone (no pytest needed)::
 
@@ -50,8 +62,18 @@ import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_pipeline.json"
-SCHEMA = "bench-pipeline/v3"
+SCHEMA = "bench-pipeline/v4"
 DEFAULT_COUNTRIES = ("ES", "US", "UK", "RU", "IN", "SG")
+DEFAULT_MEM_SCALES = (0.05, 0.1)
+
+#: Fetch-cache entry cap for the memory probes.  The default cache
+#: (200k entries) is effectively unbounded at probe scales; pinning a
+#: uniform small cap across scales keeps resident response bytes a
+#: constant so the probe measures the pipeline, not the cache.
+MEM_PROBE_FETCH_CACHE = 5000
+
+#: Shard count for the memory probe's store.
+MEM_PROBE_SHARDS = 4
 
 #: Document cap for the dict-cosine reference in the similarity
 #: comparison: the linear path is O(n² · terms) pure Python and exists
@@ -281,11 +303,13 @@ def run_pipeline(scale: float, parallelism: int, countries=DEFAULT_COUNTRIES):
     from repro.webgen.builder import build_universe
 
     stages: dict = {}
+    stage_rss: dict = {}
     clock = time.perf_counter
 
     start = clock()
     universe = build_universe(UniverseConfig(scale=scale))
     stages["universe_build"] = clock() - start
+    stage_rss["universe_build"] = _peak_rss_mb()
 
     study = Study(universe, parallelism=parallelism)
     countries = list(countries)
@@ -301,6 +325,7 @@ def run_pipeline(scale: float, parallelism: int, countries=DEFAULT_COUNTRIES):
             stages[f"crawl:{country}"] = clock() - country_start
         study.regular_log()
     stages["crawl:all"] = clock() - start
+    stage_rss["crawl:all"] = _peak_rss_mb()
 
     logs = [study.porn_log(country) for country in countries]
     logs.append(study.regular_log())
@@ -313,6 +338,7 @@ def run_pipeline(scale: float, parallelism: int, countries=DEFAULT_COUNTRIES):
     start = clock()
     study.inspections()
     stages["crawl:inspections"] = clock() - start
+    stage_rss["crawl:inspections"] = _peak_rss_mb()
 
     # The analyses allocate small objects against a heap that now holds
     # every crawl log; left alone, a generational GC pass lands in
@@ -357,6 +383,7 @@ def run_pipeline(scale: float, parallelism: int, countries=DEFAULT_COUNTRIES):
     stages["analysis:policies"] = clock() - start
 
     stages["analysis:all"] = clock() - analysis_start
+    stage_rss["analysis:all"] = _peak_rss_mb()
     analysis_docs = pages + len(policy_report.valid_policies)
 
     similarity = _time_similarity_references(study)
@@ -386,6 +413,10 @@ def run_pipeline(scale: float, parallelism: int, countries=DEFAULT_COUNTRIES):
         "banner_detection": banner_detection,
         "party_labeling": party_labeling,
         "peak_rss_mb": _peak_rss_mb(),
+        # RSS high-water mark sampled right after each stage finished
+        # (ru_maxrss is monotone, so a jump attributes growth to the
+        # stage it appears under).
+        "stage_rss_mb": stage_rss,
         # Per-country crawl detail and the analysis:all rollup are
         # excluded: their components are already in the sum.
         "total_seconds": round(sum(
@@ -405,28 +436,186 @@ def run_pipeline(scale: float, parallelism: int, countries=DEFAULT_COUNTRIES):
 
 
 # --------------------------------------------------------------------------
+# Memory probes: the streaming configuration at one scale, in-process.
+# --------------------------------------------------------------------------
+
+def _tables_digest(reader) -> str:
+    """SHA-256 over the rendered Tables 2/4/6 of a study."""
+    import hashlib
+
+    from repro.reporting.tables import (
+        render_table2,
+        render_table4,
+        render_table6,
+    )
+
+    rendered = "\n".join((
+        render_table2(reader.table2()),
+        render_table4(reader.cookie_stats()),
+        render_table6(reader.https_report()),
+    ))
+    return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
+
+
+def run_memory_probe(scale: float, *, shards: int = MEM_PROBE_SHARDS,
+                     store_dir=None) -> dict:
+    """The bounded-memory pipeline at one scale: lazy + sharded + cursors.
+
+    Universe specs are minted lazily from packed rows, the crawl runs in
+    trim mode (each site's events dropped once checkpointed to its
+    shard), and the Table 2/4/6 analyses consume datastore cursors in a
+    store-only study — the configuration whose RSS must stay flat as
+    scale grows.  Returns peak RSS, per-stage RSS, and the table digest
+    for parity checks against the eager in-memory reference.
+    """
+    import tempfile
+
+    from repro import Study, UniverseConfig
+    from repro.datastore import CrawlStore, stored_crawl
+    from repro.webgen.builder import build_universe
+
+    clock = time.perf_counter
+    stages: dict = {}
+    stage_rss: dict = {}
+
+    start = clock()
+    universe = build_universe(UniverseConfig(scale=scale), lazy=True,
+                              fetch_cache_size=MEM_PROBE_FETCH_CACHE)
+    stages["universe_build"] = clock() - start
+    stage_rss["universe_build"] = _peak_rss_mb()
+
+    store_dir = store_dir or tempfile.mkdtemp(prefix="repro-mem-probe-")
+    store = CrawlStore(os.path.join(store_dir, "probe-store"), shards=shards)
+    reader = Study(universe, parallelism=1, store=store, store_only=True)
+    vantage = reader.vantage_points.point(reader.home_country)
+    domains = reader.corpus_domains()
+    stage_rss["corpus"] = _peak_rss_mb()
+
+    start = clock()
+    stored_crawl(store, universe, vantage, Study._PORN_KIND, domains,
+                 hydrate=False)
+    stored_crawl(store, universe, vantage, Study._REGULAR_KIND,
+                 universe.reference_regular_corpus(), keep_html=False,
+                 hydrate=False)
+    stages["crawl:all"] = clock() - start
+    stage_rss["crawl:all"] = _peak_rss_mb()
+
+    start = clock()
+    digest = _tables_digest(reader)
+    stages["analysis:tables"] = clock() - start
+    stage_rss["analysis:tables"] = _peak_rss_mb()
+
+    pages = sum(manifest.visits for manifest in store.run_manifests())
+    return {
+        "scale": scale,
+        "corpus_size": len(domains),
+        "pages": pages,
+        "shards": shards,
+        "fetch_cache_size": MEM_PROBE_FETCH_CACHE,
+        "stages": {name: round(s, 4) for name, s in stages.items()},
+        "stage_rss_mb": stage_rss,
+        "peak_rss_mb": _peak_rss_mb(),
+        "tables_sha256": digest,
+    }
+
+
+def run_reference_probe(scale: float) -> dict:
+    """The parity reference: eager universe, in-memory hydrated study."""
+    from repro import Study, UniverseConfig
+    from repro.webgen.builder import build_universe
+
+    universe = build_universe(UniverseConfig(scale=scale))
+    study = Study(universe, parallelism=1)
+    return {
+        "scale": scale,
+        "tables_sha256": _tables_digest(study),
+        "peak_rss_mb": _peak_rss_mb(),
+    }
+
+
+# --------------------------------------------------------------------------
 # Orchestrator: one subprocess per configuration, merged JSON at repo root.
 # --------------------------------------------------------------------------
 
-def _run_config_isolated(scale: float, parallelism: int) -> dict:
+def _run_child(extra_args, label: str) -> dict:
     env = dict(os.environ)
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-    command = [
-        sys.executable, str(pathlib.Path(__file__).resolve()),
-        "--scale", str(scale), "--parallelism", str(parallelism), "--json",
-    ]
+    command = [sys.executable, str(pathlib.Path(__file__).resolve())]
+    command.extend(extra_args)
+    command.append("--json")
     result = subprocess.run(command, env=env, capture_output=True, text=True)
     if result.returncode != 0:
         raise RuntimeError(
-            f"benchmark child (parallelism={parallelism}) failed:\n"
-            f"{result.stderr}"
+            f"benchmark child ({label}) failed:\n{result.stderr}"
         )
     return json.loads(result.stdout)
 
 
+def _run_config_isolated(scale: float, parallelism: int) -> dict:
+    return _run_child(
+        ["--scale", str(scale), "--parallelism", str(parallelism)],
+        f"parallelism={parallelism}",
+    )
+
+
+def _memory_scales() -> tuple:
+    raw = os.environ.get("REPRO_PERF_MEM_SCALES")
+    if not raw:
+        return DEFAULT_MEM_SCALES
+    return tuple(float(s) for s in raw.split(","))
+
+
+def run_memory_scaling(scales=None) -> dict:
+    """The ``memory_scaling`` block: streaming probes across scales.
+
+    Each probe runs in a fresh subprocess so its ``ru_maxrss`` reflects
+    only that scale.  The block records the peak-RSS ratio between the
+    largest and smallest scale (the flatness headline — the streaming
+    path should grow far slower than the ~linear in-memory pipeline)
+    and, at the smallest scale, whether the streaming tables are
+    byte-identical to the eager in-memory reference.
+    """
+    scales = tuple(sorted(scales or _memory_scales()))
+    probes = [
+        _run_child(["--scale", str(scale), "--memory-probe"],
+                   f"memory-probe scale={scale}")
+        for scale in scales
+    ]
+    reference = _run_child(
+        ["--scale", str(scales[0]), "--reference-probe"],
+        f"reference-probe scale={scales[0]}",
+    )
+    first, last = probes[0], probes[-1]
+    block = {
+        "scales": list(scales),
+        "shards": MEM_PROBE_SHARDS,
+        "fetch_cache_size": MEM_PROBE_FETCH_CACHE,
+        "probes": probes,
+        "reference": reference,
+        "reference_tables_match":
+            probes[0]["tables_sha256"] == reference["tables_sha256"],
+    }
+    if first["peak_rss_mb"]:
+        block["rss_ratio"] = round(
+            last["peak_rss_mb"] / first["peak_rss_mb"], 3
+        )
+        # The bounded-memory claim proper: RSS high-water through the
+        # streaming crawl datapath (lazy universe + trim-mode crawl into
+        # shards).  The full-run ratio above additionally carries the
+        # analyses' O(unique-domain) aggregates and the universe model,
+        # which grow with corpus *diversity*, not with page count.
+        block["crawl_rss_ratio"] = round(
+            last["stage_rss_mb"]["crawl:all"]
+            / first["stage_rss_mb"]["crawl:all"], 3
+        )
+        block["scale_ratio"] = round(scales[-1] / scales[0], 2)
+    return block
+
+
 def run_benchmark(scale: float, parallelism_set=(1, 4),
-                  output_path: pathlib.Path = OUTPUT_PATH) -> dict:
+                  output_path: pathlib.Path = OUTPUT_PATH,
+                  memory_scales=None) -> dict:
     runs = [_run_config_isolated(scale, p) for p in parallelism_set]
     document = {
         "schema": SCHEMA,
@@ -434,6 +623,7 @@ def run_benchmark(scale: float, parallelism_set=(1, 4),
         "cpu_count": os.cpu_count(),
         "countries": list(DEFAULT_COUNTRIES),
         "runs": runs,
+        "memory_scaling": run_memory_scaling(memory_scales),
     }
     baseline = next((r for r in runs if r["parallelism"] == 1), None)
     if baseline is not None:
@@ -506,9 +696,20 @@ def test_perf_pipeline():
         assert run["throughput"]["pages"] > 0
         assert run["throughput"]["requests"] > run["throughput"]["pages"]
         assert run["peak_rss_mb"] > 0
+        for stage in ("universe_build", "crawl:all", "analysis:all"):
+            assert run["stage_rss_mb"][stage] > 0, stage
         assert run["analysis_throughput"]["docs"] > 0
         if run["parallelism"] > cpu_count:
             assert run["parallelism_exceeds_cpus"] is True
+    memory = document["memory_scaling"]
+    assert len(memory["probes"]) == len(memory["scales"]) >= 2
+    assert memory["reference_tables_match"] is True
+    assert memory["rss_ratio"] > 0
+    assert memory["crawl_rss_ratio"] > 0
+    for probe in memory["probes"]:
+        assert probe["pages"] > 0
+        assert probe["peak_rss_mb"] > 0
+        assert probe["shards"] == MEM_PROBE_SHARDS
     print(json.dumps(document, indent=2))
 
 
@@ -521,6 +722,17 @@ def main() -> None:
                         help="child mode: time this one configuration")
     parser.add_argument("--parallelism-set", default="1,4",
                         help="orchestrator mode: comma-separated settings")
+    parser.add_argument("--memory-probe", action="store_true",
+                        help="child mode: run the streaming memory probe "
+                             "(lazy universe, sharded store, cursor "
+                             "analyses) at --scale")
+    parser.add_argument("--reference-probe", action="store_true",
+                        help="child mode: eager in-memory reference for "
+                             "table parity at --scale")
+    parser.add_argument("--memory-scales", default=None,
+                        help="orchestrator mode: comma-separated probe "
+                             "scales (default REPRO_PERF_MEM_SCALES or "
+                             "0.05,0.1)")
     parser.add_argument("--json", action="store_true",
                         help="child mode: print the run as JSON to stdout")
     parser.add_argument("--output", type=pathlib.Path, default=OUTPUT_PATH,
@@ -528,16 +740,23 @@ def main() -> None:
                              "JSON (default BENCH_pipeline.json)")
     args = parser.parse_args()
 
-    if args.parallelism is not None:
-        run = run_pipeline(args.scale, args.parallelism)
-        if args.json:
-            print(json.dumps(run))
-        else:
-            print(json.dumps(run, indent=2))
+    child = None
+    if args.memory_probe:
+        child = run_memory_probe(args.scale)
+    elif args.reference_probe:
+        child = run_reference_probe(args.scale)
+    elif args.parallelism is not None:
+        child = run_pipeline(args.scale, args.parallelism)
+    if child is not None:
+        print(json.dumps(child) if args.json else json.dumps(child, indent=2))
         return
 
     settings = tuple(int(p) for p in args.parallelism_set.split(","))
-    document = run_benchmark(args.scale, settings, output_path=args.output)
+    memory_scales = None
+    if args.memory_scales:
+        memory_scales = tuple(float(s) for s in args.memory_scales.split(","))
+    document = run_benchmark(args.scale, settings, output_path=args.output,
+                             memory_scales=memory_scales)
     print(json.dumps(document, indent=2))
     print(f"\nwrote {args.output}", file=sys.stderr)
 

@@ -2,17 +2,23 @@
 
 Commands
 --------
-``corpus``     — compile and sanitize the §3 corpus, print the accounting.
-``crawl``      — crawl N sites from a vantage point, print tracker summary.
-``study``      — run the full study and print every table and figure.
-``report``     — render every table and figure purely from a crawl store.
-``store info`` — print a store's run manifests (timings, counts, caches).
+``corpus``        — compile and sanitize the §3 corpus, print the accounting.
+``crawl``         — crawl N sites from a vantage point, print tracker summary.
+``study``         — run the full study and print every table and figure.
+``report``        — render every table and figure purely from a crawl store.
+``store info``    — print a store's run manifests (timings, counts, caches).
+``store reshard`` — convert a single-file store into an N-shard directory.
 
 Every crawling command accepts ``--scale`` (corpus size as a fraction of
 the paper's 6,843 sites), ``--seed``, and ``--store PATH`` (persist
 crawls to a SQLite datastore; an interrupted run resumes at per-site
-granularity).  ``report`` and ``store info`` read scale and seed from
-the store itself.
+granularity; add ``--store-shards N`` to create a sharded store).
+``report`` and ``store info`` read scale and seed from the store itself.
+
+The CLI builds its universes in *lazy* mode: site specs are minted on
+first fetch from compact packed rows (bit-identical to eager
+construction, which the test suite keeps as the parity reference), so
+memory stays proportional to the sites actually visited.
 """
 
 from __future__ import annotations
@@ -48,12 +54,19 @@ def _add_store(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--store", metavar="PATH", default=None,
                         help="persist crawls to this SQLite datastore "
                              "(resumable; re-runs skip stored sites)")
+    parser.add_argument("--store-shards", metavar="N", type=int, default=None,
+                        help="create the store as N shard files keyed by "
+                             "site domain (checkpoints touch one shard)")
 
 
 def _build_study(args: argparse.Namespace) -> Study:
-    return Study.build(UniverseConfig(seed=args.seed, scale=args.scale),
-                       store=getattr(args, "store", None),
-                       parallelism=getattr(args, "parallelism", None))
+    from .webgen.builder import build_universe
+
+    config = UniverseConfig(seed=args.seed, scale=args.scale)
+    return Study(build_universe(config, lazy=True),
+                 store=getattr(args, "store", None),
+                 store_shards=getattr(args, "store_shards", None),
+                 parallelism=getattr(args, "parallelism", None))
 
 
 def cmd_corpus(args: argparse.Namespace) -> int:
@@ -205,9 +218,10 @@ def cmd_report(args: argparse.Namespace) -> int:
               "`repro study --store` first", file=sys.stderr)
         return 1
     # The synthetic universe is rebuilt (cheap, deterministic) for the
-    # analyses' lookup tables; every crawl log hydrates from the store
-    # and no browser session is ever started.
-    study = Study(build_universe(config), store=store, store_only=True)
+    # analyses' lookup tables; crawl data streams from the store and no
+    # browser session is ever started.
+    study = Study(build_universe(config, lazy=True), store=store,
+                  store_only=True)
     try:
         _render_study(study, config.scale, args.geo)
     except MissingRunError as exc:
@@ -228,14 +242,22 @@ def cmd_store_info(args: argparse.Namespace) -> int:
     store = CrawlStore(args.path)
     config = store.stored_config()
     manifests = store.run_manifests()
-    print(f"store: {args.path} (schema v{store.schema_version()})")
+    layout = f"{store.shard_count} shards" if store.sharded else "single file"
+    print(f"store: {args.path} (schema v{store.schema_version()}, {layout})")
     if config is not None:
         print(f"universe: seed={config.seed} scale={config.scale}")
     print(f"runs: {len(manifests)}")
+    if args.shards:
+        from .reporting import render_shard_table
+
+        print()
+        print(render_shard_table(store.shard_infos()))
     for run in manifests:
         status = "complete" if run.complete else \
             f"partial {run.completed_sites}/{run.total_sites}"
-        print(f"\n[{run.run_id}] {run.kind} from {run.country_code} "
+        label = run.run_id if isinstance(run.run_id, int) \
+            else run.run_key[:12]
+        print(f"\n[{label}] {run.kind} from {run.country_code} "
               f"({run.client_ip}) — {status}")
         print(f"    sites: {run.completed_sites}/{run.total_sites}  "
               f"visits: {run.visits}  requests: {run.requests}  "
@@ -258,6 +280,18 @@ def cmd_store_info(args: argparse.Namespace) -> int:
                       f"{counters['evictions']} evictions)")
             if "resumed_from_site" in stats and stats["resumed_from_site"]:
                 print(f"    resumed from site {stats['resumed_from_site']}")
+    return 0
+
+
+def cmd_store_reshard(args: argparse.Namespace) -> int:
+    from .datastore import reshard_store
+
+    try:
+        paths = reshard_store(args.src, args.dst, shards=args.shards)
+    except (ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"resharded {args.src} into {len(paths)} shards at {args.dst}")
     return 0
 
 
@@ -312,7 +346,17 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("path", help="path to the datastore")
     info.add_argument("--verbose", "-v", action="store_true",
                       help="include run keys and cache hit/miss counters")
+    info.add_argument("--shards", action="store_true",
+                      help="list per-shard file sizes and row counts")
     info.set_defaults(func=cmd_store_info)
+    reshard = store_sub.add_parser(
+        "reshard", help="convert a single-file store to an N-shard directory"
+    )
+    reshard.add_argument("src", help="existing single-file (v1) store")
+    reshard.add_argument("dst", help="directory to create for the shards")
+    reshard.add_argument("--shards", type=int, required=True,
+                         help="number of shard files (>= 2)")
+    reshard.set_defaults(func=cmd_store_reshard)
     return parser
 
 

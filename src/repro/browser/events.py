@@ -91,6 +91,19 @@ class CrawlLog:
         self._seq += 1
         return self._seq
 
+    def clear_events(self) -> None:
+        """Drop the event lists but keep the sequence counter running.
+
+        The trim-mode crawl path calls this once a site's slice is on
+        disk, so in-memory growth stays bounded by one site.  Clearing
+        is in-place (``del lst[:]``) because the live ``Browser`` holds
+        aliases to these lists.
+        """
+        del self.visits[:]
+        del self.requests[:]
+        del self.cookies[:]
+        del self.js_calls[:]
+
     def successful_visits(self) -> List[PageVisit]:
         return [visit for visit in self.visits if visit.success]
 

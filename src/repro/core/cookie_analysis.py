@@ -18,7 +18,7 @@ import base64
 import binascii
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 from urllib.parse import unquote
 
 from ..browser.events import CookieRecord, CrawlLog
@@ -115,16 +115,21 @@ class CookieStats:
         return min(1.0, max(ranked) / self.sites_visited)
 
 
-def _dedupe(cookies: List[CookieRecord]) -> List[CookieRecord]:
+def _dedupe(cookies: Iterable[CookieRecord]) -> Iterator[CookieRecord]:
+    """Yield each (page, domain, name, value) cookie once, in order.
+
+    A generator rather than a list so the analysis streams: only the
+    dedup key set is retained, never the records themselves — which is
+    what lets :func:`analyze_cookies` run over a datastore cursor
+    without hydrating the log.
+    """
     seen: Set[Tuple[str, str, str, str]] = set()
-    unique = []
     for cookie in cookies:
         key = (cookie.page_domain, cookie.domain, cookie.name, cookie.value)
         if key in seen:
             continue
         seen.add(key)
-        unique.append(cookie)
-    return unique
+        yield cookie
 
 
 def analyze_cookies(
@@ -134,23 +139,28 @@ def analyze_cookies(
     regular_web_domains: Optional[Set[str]] = None,
     top_n: int = 5,
 ) -> CookieStats:
-    """Run the full §5.1.1 pipeline over one crawl log."""
+    """Run the full §5.1.1 pipeline over one crawl log.
+
+    ``log`` may be a hydrated :class:`CrawlLog` or any object exposing
+    re-iterable ``cookies``/``successful_visits()`` plus ``client_ip``
+    (e.g. :class:`~repro.datastore.StoredLogView`): every event is
+    consumed in one streaming pass.
+    """
     stats = CookieStats()
     visited = {visit.site_domain for visit in log.successful_visits()}
     stats.sites_visited = len(visited)
 
-    cookies = _dedupe(log.cookies)
-    stats.total_cookies = len(cookies)
-    stats.sites_with_cookies = len({c.page_domain for c in cookies})
-
     client_ip = log.client_ip
+    sites_with_cookies: Set[str] = set()
     sites_with_tp: Set[str] = set()
     per_domain_cookies: Dict[str, int] = {}
     per_domain_sites: Dict[str, Set[str]] = {}
     per_domain_ip: Dict[str, int] = {}
     popular: Dict[Tuple[str, str], Set[str]] = {}
 
-    for cookie in cookies:
+    for cookie in _dedupe(log.cookies):
+        stats.total_cookies += 1
+        sites_with_cookies.add(cookie.page_domain)
         if cookie.session or len(cookie.value) < MIN_ID_LENGTH:
             continue
         stats.id_cookies += 1
@@ -187,6 +197,7 @@ def analyze_cookies(
                     stats.geo_cookies_with_isp += 1
                 break
 
+    stats.sites_with_cookies = len(sites_with_cookies)
     stats.sites_with_third_party_cookies = len(sites_with_tp)
     stats.popular_cookies = {
         key: len(sites) for key, sites in popular.items()

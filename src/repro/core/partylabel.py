@@ -31,7 +31,7 @@ __all__ = ["PartyLabels", "label_parties"]
 CertLookup = Callable[[str], Optional[Certificate]]
 
 
-@lru_cache(maxsize=65536)
+@lru_cache(maxsize=16384)
 def _domains_similar_cached(a: str, b: str, threshold: float) -> bool:
     """Memoized banded-Levenshtein similarity on a normalized pair.
 

@@ -49,7 +49,10 @@ class OpenWPMCrawler:
         visit with the pre-visit lengths of the log's (visits, requests,
         cookies, js_calls) lists, so a persistence layer can durably
         append exactly that site's event slice (see
-        :func:`repro.datastore.stored_crawl`).
+        :func:`repro.datastore.stored_crawl`).  A checkpoint returning a
+        truthy value asks for *trim mode*: the just-persisted events are
+        dropped from memory (the sequence counter keeps running), which
+        bounds crawl RSS by one site's events instead of the whole run.
         """
         browser = Browser(self.universe, self.client, log=log,
                           keep_html=self.keep_html)
@@ -58,6 +61,6 @@ class OpenWPMCrawler:
             marks = (len(log.visits), len(log.requests),
                      len(log.cookies), len(log.js_calls))
             browser.visit(domain)
-            if checkpoint is not None:
-                checkpoint(domain, log, marks)
+            if checkpoint is not None and checkpoint(domain, log, marks):
+                log.clear_events()
         return log

@@ -9,11 +9,16 @@ the reproduction the same shape.  :class:`CrawlStore` is the store,
 
 from .schema import SCHEMA_VERSION, SchemaError
 from .serialize import config_from_json, config_to_json, domains_hash, run_key
+from .shards import reshard_store
 from .store import (
     CrawlStore,
     MissingRunError,
     RunManifest,
+    RunRef,
     RunState,
+    ShardInfo,
+    StoredLogView,
+    shard_of_domain,
     stored_crawl,
 )
 
@@ -23,10 +28,15 @@ __all__ = [
     "CrawlStore",
     "MissingRunError",
     "RunManifest",
+    "RunRef",
     "RunState",
+    "ShardInfo",
+    "StoredLogView",
     "config_from_json",
     "config_to_json",
     "domains_hash",
+    "reshard_store",
     "run_key",
+    "shard_of_domain",
     "stored_crawl",
 ]

@@ -17,7 +17,13 @@ from __future__ import annotations
 
 import sqlite3
 
-__all__ = ["SCHEMA_VERSION", "SchemaError", "ensure_schema"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "ensure_schema",
+    "shard_stamp",
+    "stamp_shard",
+]
 
 #: Bump on any table/column change.
 SCHEMA_VERSION = 1
@@ -138,24 +144,78 @@ class SchemaError(RuntimeError):
     """The store file exists but was written by an incompatible schema."""
 
 
+def _verify_version(connection: sqlite3.Connection) -> None:
+    stored = connection.execute(
+        "SELECT value FROM meta WHERE key='schema_version'"
+    ).fetchone()
+    if stored is None or int(stored[0]) != SCHEMA_VERSION:
+        found = "missing" if stored is None else stored[0]
+        raise SchemaError(
+            f"store schema version {found} != supported {SCHEMA_VERSION}"
+        )
+
+
 def ensure_schema(connection: sqlite3.Connection) -> None:
-    """Create the schema on a fresh store, or verify a stored version."""
+    """Create the schema on a fresh store, or verify a stored version.
+
+    Creation is one ``BEGIN IMMEDIATE`` transaction with a re-check
+    inside, because concurrent workers race to open a fresh store: a
+    second opener must never observe the tables without the version row
+    (``executescript`` would expose exactly that window).
+    """
     row = connection.execute(
         "SELECT name FROM sqlite_master WHERE type='table' AND name='meta'"
     ).fetchone()
     if row is not None:
-        stored = connection.execute(
-            "SELECT value FROM meta WHERE key='schema_version'"
-        ).fetchone()
-        if stored is None or int(stored[0]) != SCHEMA_VERSION:
-            found = "missing" if stored is None else stored[0]
-            raise SchemaError(
-                f"store schema version {found} != supported {SCHEMA_VERSION}"
-            )
+        _verify_version(connection)
         return
+    connection.execute("BEGIN IMMEDIATE")
+    try:
+        row = connection.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name='meta'"
+        ).fetchone()
+        if row is not None:  # another opener won the race
+            _verify_version(connection)
+        else:
+            # Statement-at-a-time (executescript would auto-commit);
+            # comment lines go first since they may contain semicolons.
+            ddl = "\n".join(
+                line for line in _DDL.splitlines()
+                if not line.lstrip().startswith("--")
+            )
+            for statement in ddl.split(";"):
+                if statement.strip():
+                    connection.execute(statement)
+            connection.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+    except BaseException:
+        connection.execute("ROLLBACK")
+        raise
+    connection.execute("COMMIT")
+
+
+def stamp_shard(connection: sqlite3.Connection, index: int, count: int) -> None:
+    """Mark a store file as shard ``index`` of a ``count``-way v2 store.
+
+    Shard files are self-describing: each carries its position so a
+    half-copied directory or a renamed file is detected at open time
+    instead of silently routing rows to the wrong shard.
+    """
     with connection:
-        connection.executescript(_DDL)
-        connection.execute(
-            "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
-            ("schema_version", str(SCHEMA_VERSION)),
+        connection.executemany(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            [("shard_index", str(index)), ("shard_count", str(count))],
         )
+
+
+def shard_stamp(connection: sqlite3.Connection):
+    """The ``(index, count)`` stamp of a shard file, or ``None`` for v1."""
+    rows = dict(connection.execute(
+        "SELECT key, value FROM meta"
+        " WHERE key IN ('shard_index', 'shard_count')"
+    ))
+    if not rows:
+        return None
+    return int(rows["shard_index"]), int(rows["shard_count"])

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sys
 from dataclasses import asdict, fields, is_dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple
 
@@ -32,6 +33,10 @@ from ..net.geo import VantagePoint
 from ..webgen.config import CalibrationTargets, UniverseConfig
 
 __all__ = [
+    "COOKIE_COLUMNS",
+    "JSCALL_COLUMNS",
+    "REQUEST_COLUMNS",
+    "VISIT_COLUMNS",
     "config_from_json",
     "config_to_json",
     "cookie_from_row",
@@ -46,6 +51,23 @@ __all__ = [
     "visit_from_row",
     "visit_to_row",
 ]
+
+#: Event-table column lists, in ``*_to_row`` order.  Shared by the
+#: store's insert statements, the cursor SELECTs, and the reshard tool
+#: so the three can never drift apart.
+VISIT_COLUMNS = (
+    "site_domain", "url", "success", "status", "failure_reason",
+    "html", "https",
+)
+REQUEST_COLUMNS = (
+    "url", "fqdn", "scheme", "page_domain", "resource_type", "initiator",
+    "referrer", "seq", "status", "failed", "error", "redirect_location",
+)
+COOKIE_COLUMNS = (
+    "page_domain", "set_by_host", "domain", "name", "value", "session",
+    "secure", "over_https", "seq",
+)
+JSCALL_COLUMNS = ("script_url", "document_host", "api", "args_json")
 
 
 # ----------------------------------------------------------------------
@@ -125,6 +147,20 @@ def domains_hash(domains: Sequence[str]) -> str:
 # Record rows (column order matches the schema DDL)
 # ----------------------------------------------------------------------
 
+def _intern(value: Optional[str]) -> Optional[str]:
+    """Collapse repeated decoded strings to one object per value.
+
+    SQLite materializes a fresh ``str`` for every fetched cell, so a
+    domain that appears in 10k rows would otherwise become 10k equal
+    but distinct objects — and the analyses retain many of them in
+    per-page sets.  Interning the low-cardinality columns (domains,
+    hosts, resource types, cookie names) makes every retained copy
+    share one object; high-cardinality columns (URLs, cookie values,
+    HTML) are left alone so the intern table stays small.
+    """
+    return None if value is None else sys.intern(value)
+
+
 def visit_to_row(visit: PageVisit) -> Tuple:
     return (visit.site_domain, visit.url, int(visit.success), visit.status,
             visit.failure_reason, visit.html, int(visit.https))
@@ -132,8 +168,9 @@ def visit_to_row(visit: PageVisit) -> Tuple:
 
 def visit_from_row(row: Sequence) -> PageVisit:
     return PageVisit(
-        site_domain=row[0], url=row[1], success=bool(row[2]), status=row[3],
-        failure_reason=row[4], html=row[5], https=bool(row[6]),
+        site_domain=_intern(row[0]), url=row[1], success=bool(row[2]),
+        status=row[3], failure_reason=_intern(row[4]), html=row[5],
+        https=bool(row[6]),
     )
 
 
@@ -146,9 +183,10 @@ def request_to_row(record: RequestRecord) -> Tuple:
 
 def request_from_row(row: Sequence) -> RequestRecord:
     return RequestRecord(
-        url=row[0], fqdn=row[1], scheme=row[2], page_domain=row[3],
-        resource_type=row[4], initiator=row[5], referrer=row[6], seq=row[7],
-        status=row[8], failed=bool(row[9]), error=row[10],
+        url=row[0], fqdn=_intern(row[1]), scheme=_intern(row[2]),
+        page_domain=_intern(row[3]), resource_type=_intern(row[4]),
+        initiator=_intern(row[5]), referrer=_intern(row[6]), seq=row[7],
+        status=row[8], failed=bool(row[9]), error=_intern(row[10]),
         redirect_location=row[11],
     )
 
@@ -161,9 +199,10 @@ def cookie_to_row(cookie: CookieRecord) -> Tuple:
 
 def cookie_from_row(row: Sequence) -> CookieRecord:
     return CookieRecord(
-        page_domain=row[0], set_by_host=row[1], domain=row[2], name=row[3],
-        value=row[4], session=bool(row[5]), secure=bool(row[6]),
-        over_https=bool(row[7]), seq=row[8],
+        page_domain=_intern(row[0]), set_by_host=_intern(row[1]),
+        domain=_intern(row[2]), name=_intern(row[3]), value=row[4],
+        session=bool(row[5]), secure=bool(row[6]), over_https=bool(row[7]),
+        seq=row[8],
     )
 
 
@@ -173,5 +212,5 @@ def jscall_to_row(call: JSCall) -> Tuple:
 
 
 def jscall_from_row(row: Sequence) -> JSCall:
-    return JSCall(script_url=row[0], document_host=row[1], api=row[2],
-                  args=json.loads(row[3]))
+    return JSCall(script_url=_intern(row[0]), document_host=_intern(row[1]),
+                  api=_intern(row[2]), args=json.loads(row[3]))

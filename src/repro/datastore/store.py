@@ -1,11 +1,27 @@
 """The persistent crawl datastore (our OpenWPM SQLite equivalent).
 
-:class:`CrawlStore` owns one SQLite file in WAL mode and persists whole
-:class:`~repro.browser.events.CrawlLog` sessions as they happen: the
-crawler calls the store's *checkpointer* after every landing-page visit,
-which appends that site's event rows and flips its completion flag in a
-single transaction.  A killed crawl therefore loses at most the site it
-was on, and :func:`stored_crawl` resumes it at per-site granularity.
+:class:`CrawlStore` persists whole :class:`~repro.browser.events.CrawlLog`
+sessions as they happen: the crawler calls the store's *checkpointer*
+after every landing-page visit, which appends that site's event rows and
+flips its completion flag in a single transaction.  A killed crawl
+therefore loses at most the site it was on, and :func:`stored_crawl`
+resumes it at per-site granularity.
+
+Store layouts
+-------------
+
+*v1* is one SQLite file in WAL mode — the original layout, still the
+default.  *v2* is a directory of ``shard-NNNN.sqlite`` files, each with
+the identical v1 schema, where a site-visit's rows live in the shard
+``sha256(site_domain) % N`` of the *visited* site (all of a visit's
+requests/cookies/JS calls route with the visit, so one checkpoint is
+still one transaction in one file, and shard-local WAL writers never
+contend).  Every shard carries a copy of the run manifest row for each
+run (with ``run_sites`` restricted to its own domains, at their *global*
+positions); ``find_run``/``run_manifests`` fan results back in, and
+readers merge shards by global position, so both layouts present the
+same facade.  ``repro store reshard`` converts v1 files to v2
+directories (see :mod:`repro.datastore.shards`).
 
 Why resume is bit-identical
 ---------------------------
@@ -22,26 +38,42 @@ client IP) only.  The per-site event stream is thus a pure function of
 (universe, client, site), which ``tests/test_datastore.py`` asserts by
 diffing an aborted-and-resumed crawl against an uninterrupted one.
 
+The same property is why *trim mode* works: a checkpointer built with
+``trim=True`` asks the crawler to drop the in-memory event lists after
+each site is on disk (positions continue from persistent counters), so
+crawl RSS is bounded by one site's events regardless of corpus size.
+
 Concurrency: worker processes and threads each open their own
 :class:`CrawlStore` on the same path; WAL plus a busy timeout serializes
-writers, and every checkpoint is one short transaction.
+writers, and every checkpoint is one short transaction.  Cursor reads
+(:meth:`CrawlStore.iter_visits` et al.) open their own read connections,
+so long scans never block a writer.
 """
 
 from __future__ import annotations
 
+import hashlib
+import heapq
 import json
+import os
 import sqlite3
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union,
+)
 
 from ..browser.events import CrawlLog
 from ..net.geo import VantagePoint
 from ..webgen.config import UniverseConfig
-from .schema import SCHEMA_VERSION, ensure_schema
+from .schema import SCHEMA_VERSION, ensure_schema, shard_stamp, stamp_shard
 from .serialize import (
+    COOKIE_COLUMNS,
+    JSCALL_COLUMNS,
+    REQUEST_COLUMNS,
+    VISIT_COLUMNS,
     config_from_json,
     config_to_json,
     cookie_from_row,
@@ -61,9 +93,23 @@ __all__ = [
     "CrawlStore",
     "MissingRunError",
     "RunManifest",
+    "RunRef",
     "RunState",
+    "ShardInfo",
+    "StoredLogView",
+    "shard_of_domain",
     "stored_crawl",
 ]
+
+SHARD_FILE_FORMAT = "shard-{index:04d}.sqlite"
+
+
+def shard_of_domain(domain: str, shard_count: int) -> int:
+    """The shard that owns ``domain``'s visits: ``sha256(domain) % N``."""
+    if shard_count <= 1:
+        return 0
+    digest = hashlib.sha256(domain.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shard_count
 
 
 class MissingRunError(RuntimeError):
@@ -71,10 +117,24 @@ class MissingRunError(RuntimeError):
 
 
 @dataclass(frozen=True)
+class RunRef:
+    """Layout-independent run identity (v2 stores have no global rowid)."""
+
+    run_key: str
+    domains_hash: str
+
+
+#: What the read/write APIs accept as "which run": the v1 integer rowid
+#: or a :class:`RunRef`.  ``RunState.run_id`` is always the right value
+#: to pass back in.
+RunId = Union[int, RunRef]
+
+
+@dataclass(frozen=True)
 class RunState:
     """Where one run stands: which sites are already on disk."""
 
-    run_id: int
+    run_id: RunId
     domains: Tuple[str, ...]
     completed: Tuple[str, ...]
     seq: int
@@ -92,9 +152,14 @@ class RunState:
 
 @dataclass(frozen=True)
 class RunManifest:
-    """One manifest row for ``repro store info``."""
+    """One manifest row for ``repro store info``.
 
-    run_id: int
+    ``run_id`` is the layout-appropriate :data:`RunId` — the SQLite
+    rowid on a v1 file, a :class:`RunRef` on a shard directory — so a
+    manifest can always be passed back into ``load_log`` / ``iter_*``.
+    """
+
+    run_id: "RunId"
     run_key: str
     kind: str
     country_code: str
@@ -119,27 +184,128 @@ class RunManifest:
         return self.completed_sites / self.elapsed if self.elapsed else 0.0
 
 
-class CrawlStore:
-    """One SQLite crawl datastore (WAL journal, batched inserts)."""
+@dataclass(frozen=True)
+class ShardInfo:
+    """Size and row counts of one shard file (``store info --shards``)."""
 
-    def __init__(self, path: str, *, timeout: float = 30.0) -> None:
+    index: int
+    path: str
+    size_bytes: int
+    runs: int
+    visits: int
+
+
+class CrawlStore:
+    """One crawl datastore: a v1 SQLite file or a v2 shard directory."""
+
+    def __init__(self, path: str, *, timeout: float = 30.0,
+                 shards: Optional[int] = None) -> None:
         self.path = str(path)
+        self._timeout = timeout
         self._lock = threading.RLock()
-        self._connection = sqlite3.connect(
-            self.path, timeout=timeout, check_same_thread=False,
-            isolation_level=None,  # autocommit; transactions are explicit
+        creating = False
+
+        if os.path.isdir(self.path):
+            existing = sorted(
+                name for name in os.listdir(self.path)
+                if name.startswith("shard-") and name.endswith(".sqlite")
+            )
+            if not existing:
+                raise ValueError(f"{self.path} is a directory with no shards")
+            count = len(existing)
+            if shards is not None and shards != count:
+                raise ValueError(
+                    f"store {self.path} has {count} shards, not {shards}"
+                )
+            self.shard_count = count
+            self._shard_paths = [os.path.join(self.path, n) for n in existing]
+        elif shards is not None and shards > 1 and not os.path.exists(self.path):
+            os.makedirs(self.path, exist_ok=True)
+            self.shard_count = shards
+            self._shard_paths = [
+                os.path.join(self.path, SHARD_FILE_FORMAT.format(index=i))
+                for i in range(shards)
+            ]
+            creating = True
+        else:
+            if shards is not None and shards > 1:
+                raise ValueError(
+                    f"{self.path} is a v1 single-file store; use"
+                    " 'repro store reshard' to convert it"
+                )
+            self.shard_count = 1
+            self._shard_paths = [self.path]
+
+        self._connections: List[Optional[sqlite3.Connection]] = (
+            [None] * self.shard_count
         )
-        self._connection.execute("PRAGMA journal_mode=WAL")
-        self._connection.execute("PRAGMA synchronous=NORMAL")
-        self._connection.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
-        with self._lock:
-            ensure_schema(self._connection)
+        # Opening shard 0 eagerly validates the store (schema version,
+        # shard stamp); the remaining shards open on first touch — except
+        # at creation, where every shard file is written up front so the
+        # directory is self-describing (reopen detects the shard count by
+        # listing files) even before any row reaches the higher shards.
+        for index in range(self.shard_count if creating else 1):
+            self._conn(index)
+
+    @property
+    def sharded(self) -> bool:
+        return self.shard_count > 1
 
     # -- lifecycle ------------------------------------------------------
 
+    def _conn(self, index: int) -> sqlite3.Connection:
+        with self._lock:
+            connection = self._connections[index]
+            if connection is not None:
+                return connection
+            connection = self._open(self._shard_paths[index])
+            fresh = not connection.execute(
+                "SELECT 1 FROM sqlite_master WHERE type='table' AND name='meta'"
+            ).fetchone()
+            ensure_schema(connection)
+            if self.sharded:
+                if fresh:
+                    stamp_shard(connection, index, self.shard_count)
+                else:
+                    stamp = shard_stamp(connection)
+                    if stamp != (index, self.shard_count):
+                        raise ValueError(
+                            f"{self._shard_paths[index]} is stamped "
+                            f"{stamp}, expected ({index}, {self.shard_count})"
+                        )
+            self._connections[index] = connection
+            return connection
+
+    def _open(self, path: str) -> sqlite3.Connection:
+        connection = sqlite3.connect(
+            path, timeout=self._timeout, check_same_thread=False,
+            isolation_level=None,  # autocommit; transactions are explicit
+        )
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA synchronous=NORMAL")
+        connection.execute(f"PRAGMA busy_timeout={int(self._timeout * 1000)}")
+        return connection
+
+    def _read_conn(self, index: int) -> sqlite3.Connection:
+        """A private connection for one cursor scan.
+
+        Cursors outlive any facade lock scope, so they never share the
+        writer connection; WAL lets them read while checkpoints commit.
+        """
+        self._conn(index)  # ensure the shard file exists with a schema
+        connection = sqlite3.connect(
+            self._shard_paths[index], timeout=self._timeout,
+            check_same_thread=False,
+        )
+        connection.execute(f"PRAGMA busy_timeout={int(self._timeout * 1000)}")
+        return connection
+
     def close(self) -> None:
         with self._lock:
-            self._connection.close()
+            for connection in self._connections:
+                if connection is not None:
+                    connection.close()
+            self._connections = [None] * self.shard_count
 
     def __enter__(self) -> "CrawlStore":
         return self
@@ -148,16 +314,17 @@ class CrawlStore:
         self.close()
 
     @contextmanager
-    def _txn(self):
-        """One serialized write transaction (short by construction)."""
+    def _txn(self, index: int = 0):
+        """One serialized write transaction on one shard."""
         with self._lock:
-            self._connection.execute("BEGIN IMMEDIATE")
+            connection = self._conn(index)
+            connection.execute("BEGIN IMMEDIATE")
             try:
-                yield self._connection
+                yield connection
             except BaseException:
-                self._connection.execute("ROLLBACK")
+                connection.execute("ROLLBACK")
                 raise
-            self._connection.execute("COMMIT")
+            connection.execute("COMMIT")
 
     # -- store-level metadata -------------------------------------------
 
@@ -167,7 +334,7 @@ class CrawlStore:
     def stored_config(self) -> Optional[UniverseConfig]:
         """The universe configuration every run in this store used."""
         with self._lock:
-            row = self._connection.execute(
+            row = self._conn(0).execute(
                 "SELECT value FROM meta WHERE key='config_json'"
             ).fetchone()
         return config_from_json(row[0]) if row else None
@@ -175,19 +342,51 @@ class CrawlStore:
     def _check_config(self, config: UniverseConfig) -> str:
         """Pin the store to one universe; reject mixing configurations."""
         text = config_to_json(config)
-        with self._txn() as conn:
-            row = conn.execute(
-                "SELECT value FROM meta WHERE key='config_json'"
-            ).fetchone()
-            if row is None:
-                conn.execute("INSERT INTO meta (key, value) VALUES (?, ?)",
-                             ("config_json", text))
-            elif row[0] != text:
-                raise ValueError(
-                    "store was created for a different UniverseConfig; "
-                    "use one store file per universe"
-                )
+        for index in range(self.shard_count):
+            with self._txn(index) as conn:
+                row = conn.execute(
+                    "SELECT value FROM meta WHERE key='config_json'"
+                ).fetchone()
+                if row is None:
+                    conn.execute(
+                        "INSERT INTO meta (key, value) VALUES (?, ?)",
+                        ("config_json", text),
+                    )
+                elif row[0] != text:
+                    raise ValueError(
+                        "store was created for a different UniverseConfig; "
+                        "use one store file per universe"
+                    )
         return text
+
+    # -- run identity ---------------------------------------------------
+
+    def _resolve(self, run: RunId) -> List[Tuple[int, int]]:
+        """``(shard_index, local_run_id)`` for every shard holding the run."""
+        if isinstance(run, int):
+            if self.sharded:
+                raise ValueError(
+                    "sharded stores address runs by RunRef, not rowid"
+                )
+            return [(0, run)]
+        found: List[Tuple[int, int]] = []
+        with self._lock:
+            for index in range(self.shard_count):
+                row = self._conn(index).execute(
+                    "SELECT id FROM runs WHERE run_key=? AND domains_hash=?",
+                    (run.run_key, run.domains_hash),
+                ).fetchone()
+                if row is not None:
+                    found.append((index, row[0]))
+        if not found:
+            raise MissingRunError(f"no run {run} in {self.path}")
+        return found
+
+    def _local_id(self, run: RunId, index: int) -> Optional[int]:
+        for shard_index, local_id in self._resolve(run):
+            if shard_index == index:
+                return local_id
+        return None
 
     # -- run lifecycle --------------------------------------------------
 
@@ -201,50 +400,76 @@ class CrawlStore:
         epoch: str = "crawl",
         keep_html: bool = True,
     ) -> RunState:
-        """Find or create the manifest row for one logical crawl."""
+        """Find or create the manifest row(s) for one logical crawl.
+
+        In a sharded store every shard gets a manifest row (so fan-in
+        readers need no side channel), with ``run_sites`` restricted to
+        the shard's own domains at their global positions.
+        """
         config_json = self._check_config(config)
         key = run_key(config, vantage, kind, epoch=epoch, keep_html=keep_html)
         dh = domains_hash(domains)
-        with self._txn() as conn:
-            row = conn.execute(
-                "SELECT id FROM runs WHERE run_key=? AND domains_hash=?",
-                (key, dh),
-            ).fetchone()
-            if row is None:
+        by_shard: Dict[int, List[Tuple[int, str]]] = {
+            index: [] for index in range(self.shard_count)
+        }
+        for position, domain in enumerate(domains):
+            by_shard[shard_of_domain(domain, self.shard_count)].append(
+                (position, domain)
+            )
+        started = time.time()
+        for index in range(self.shard_count):
+            with self._txn(index) as conn:
+                row = conn.execute(
+                    "SELECT id FROM runs WHERE run_key=? AND domains_hash=?",
+                    (key, dh),
+                ).fetchone()
+                if row is not None:
+                    continue
                 cursor = conn.execute(
                     "INSERT INTO runs (run_key, kind, country_code, client_ip,"
                     " config_json, vantage_json, domains_hash, total_sites,"
                     " started_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
                     (key, kind, vantage.country_code, vantage.client_ip,
-                     config_json, vantage_to_json(vantage), dh, len(domains),
-                     time.time()),
+                     config_json, vantage_to_json(vantage), dh,
+                     len(by_shard[index]), started),
                 )
-                run_id = cursor.lastrowid
+                local_id = cursor.lastrowid
                 conn.executemany(
                     "INSERT INTO run_sites (run_id, position, domain)"
                     " VALUES (?, ?, ?)",
-                    [(run_id, i, d) for i, d in enumerate(domains)],
+                    [(local_id, position, domain)
+                     for position, domain in by_shard[index]],
                 )
         return self._run_state(key, dh, domains)
 
     def _run_state(self, key: str, dh: str,
                    domains: Sequence[str]) -> RunState:
+        ref = RunRef(key, dh)
+        seq = 0
+        finished = True
+        completed_positions: List[Tuple[int, str]] = []
         with self._lock:
-            row = self._connection.execute(
-                "SELECT id, seq, finished_at FROM runs"
-                " WHERE run_key=? AND domains_hash=?", (key, dh),
-            ).fetchone()
-            run_id, seq, finished_at = row
-            completed = tuple(
-                r[0] for r in self._connection.execute(
-                    "SELECT domain FROM run_sites"
-                    " WHERE run_id=? AND completed=1 ORDER BY position",
-                    (run_id,),
-                )
-            )
-        return RunState(run_id=run_id, domains=tuple(domains),
-                        completed=completed, seq=seq,
-                        finished=finished_at is not None)
+            for index, local_id in self._resolve(ref):
+                conn = self._conn(index)
+                row = conn.execute(
+                    "SELECT seq, finished_at FROM runs WHERE id=?",
+                    (local_id,),
+                ).fetchone()
+                seq = max(seq, row[0])
+                finished = finished and row[1] is not None
+                completed_positions.extend(conn.execute(
+                    "SELECT position, domain FROM run_sites"
+                    " WHERE run_id=? AND completed=1", (local_id,),
+                ))
+        completed_positions.sort()
+        run_id: RunId = ref
+        if not self.sharded:
+            run_id = self._resolve(ref)[0][1]
+        return RunState(
+            run_id=run_id, domains=tuple(domains),
+            completed=tuple(d for _, d in completed_positions),
+            seq=seq, finished=finished,
+        )
 
     def find_run(
         self,
@@ -260,7 +485,7 @@ class CrawlStore:
         key = run_key(config, vantage, kind, epoch=epoch, keep_html=keep_html)
         dh = domains_hash(domains)
         with self._lock:
-            row = self._connection.execute(
+            row = self._conn(0).execute(
                 "SELECT id FROM runs WHERE run_key=? AND domains_hash=?",
                 (key, dh),
             ).fetchone()
@@ -268,47 +493,62 @@ class CrawlStore:
             return None
         return self._run_state(key, dh, domains)
 
-    def checkpointer(self, run_id: int) -> Callable:
+    def checkpointer(self, run: RunId, *, trim: bool = False) -> Callable:
         """A per-site checkpoint callback for ``OpenWPMCrawler.crawl``.
 
         Each invocation appends one visited site's event rows and marks
-        the site complete in a single transaction — the atomic unit a
-        kill can never tear.
+        the site complete in a single transaction *on that site's shard*
+        — the atomic unit a kill can never tear.  Event positions come
+        from persistent counters seeded with the rows already stored, so
+        they are identical whether the in-memory log is kept (hydrated
+        resume) or dropped after every site (``trim=True``; the returned
+        callback's value tells the crawler to clear its event lists).
         """
+        handles = self._resolve(run)
+        site_shard: Dict[str, Tuple[int, int, int]] = {}
         with self._lock:
-            positions = dict(self._connection.execute(
-                "SELECT domain, position FROM run_sites WHERE run_id=?",
-                (run_id,),
-            ))
+            for index, local_id in handles:
+                for domain, position in self._conn(index).execute(
+                    "SELECT domain, position FROM run_sites WHERE run_id=?",
+                    (local_id,),
+                ):
+                    site_shard[domain] = (index, local_id, position)
+        counters = {
+            table: self._count_rows(handles, table)
+            for table in ("visits", "requests", "cookies", "js_calls")
+        }
         last = time.perf_counter()
 
         def checkpoint(domain: str, log: CrawlLog,
-                       marks: Tuple[int, int, int, int]) -> None:
+                       marks: Tuple[int, int, int, int]) -> bool:
             nonlocal last
             now = time.perf_counter()
             site_elapsed, last = now - last, now
             v0, r0, c0, j0 = marks
-            with self._txn() as conn:
+            index, local_id, position = site_shard[domain]
+            vp, rp = counters["visits"], counters["requests"]
+            cp, jp = counters["cookies"], counters["js_calls"]
+            with self._txn(index) as conn:
                 conn.executemany(
                     "INSERT INTO visits VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    [(run_id, v0 + i) + visit_to_row(v)
+                    [(local_id, vp + i) + visit_to_row(v)
                      for i, v in enumerate(log.visits[v0:])],
                 )
                 conn.executemany(
                     "INSERT INTO requests VALUES"
                     " (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    [(run_id, r0 + i) + request_to_row(r)
+                    [(local_id, rp + i) + request_to_row(r)
                      for i, r in enumerate(log.requests[r0:])],
                 )
                 conn.executemany(
                     "INSERT INTO cookies VALUES"
                     " (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    [(run_id, c0 + i) + cookie_to_row(c)
+                    [(local_id, cp + i) + cookie_to_row(c)
                      for i, c in enumerate(log.cookies[c0:])],
                 )
                 conn.executemany(
                     "INSERT INTO js_calls VALUES (?, ?, ?, ?, ?, ?)",
-                    [(run_id, j0 + i) + jscall_to_row(c)
+                    [(local_id, jp + i) + jscall_to_row(c)
                      for i, c in enumerate(log.js_calls[j0:])],
                 )
                 conn.execute(
@@ -316,81 +556,174 @@ class CrawlStore:
                     " cookies=?, js_calls=? WHERE run_id=? AND position=?",
                     (site_elapsed, len(log.requests) - r0,
                      len(log.cookies) - c0, len(log.js_calls) - j0,
-                     run_id, positions[domain]),
+                     local_id, position),
                 )
                 conn.execute(
                     "UPDATE runs SET seq=?, elapsed=elapsed+? WHERE id=?",
-                    (log._seq, site_elapsed, run_id),
+                    (log._seq, site_elapsed, local_id),
                 )
+            counters["visits"] = vp + len(log.visits) - v0
+            counters["requests"] = rp + len(log.requests) - r0
+            counters["cookies"] = cp + len(log.cookies) - c0
+            counters["js_calls"] = jp + len(log.js_calls) - j0
+            return trim
 
         return checkpoint
 
-    def finish_run(self, run_id: int,
+    def finish_run(self, run: RunId,
                    stats: Optional[Dict] = None) -> None:
         """Stamp a run finished; refuses while sites are still pending."""
-        with self._txn() as conn:
-            pending = conn.execute(
-                "SELECT COUNT(*) FROM run_sites"
-                " WHERE run_id=? AND completed=0", (run_id,),
-            ).fetchone()[0]
+        handles = self._resolve(run)
+        pending = 0
+        with self._lock:
+            for index, local_id in handles:
+                pending += self._conn(index).execute(
+                    "SELECT COUNT(*) FROM run_sites"
+                    " WHERE run_id=? AND completed=0", (local_id,),
+                ).fetchone()[0]
             if pending:
                 raise RuntimeError(
-                    f"run {run_id} still has {pending} pending sites"
+                    f"run {run} still has {pending} pending sites"
                 )
-            conn.execute(
-                "UPDATE runs SET finished_at=COALESCE(finished_at, ?),"
-                " stats_json=COALESCE(?, stats_json) WHERE id=?",
-                (time.time(),
-                 json.dumps(stats, sort_keys=True) if stats else None,
-                 run_id),
-            )
+            stamp = time.time()
+            stats_json = json.dumps(stats, sort_keys=True) if stats else None
+            for index, local_id in handles:
+                with self._txn(index) as conn:
+                    conn.execute(
+                        "UPDATE runs SET finished_at=COALESCE(finished_at, ?),"
+                        " stats_json=COALESCE(?, stats_json) WHERE id=?",
+                        (stamp, stats_json if index == 0 else None, local_id),
+                    )
 
     # -- reading --------------------------------------------------------
 
-    def load_log(self, run_id: int) -> CrawlLog:
-        """Reconstruct the (possibly partial) crawl log of a run."""
+    def _run_header(self, run: RunId) -> Tuple[str, str, int]:
+        """``(country_code, client_ip, seq)`` with seq fanned in as max."""
+        handles = self._resolve(run)
+        country = client_ip = ""
+        seq = 0
         with self._lock:
-            run = self._connection.execute(
-                "SELECT country_code, client_ip, seq FROM runs WHERE id=?",
-                (run_id,),
-            ).fetchone()
-            if run is None:
-                raise MissingRunError(f"no run {run_id} in {self.path}")
-            log = CrawlLog(country_code=run[0], client_ip=run[1])
-            log.visits = [
-                visit_from_row(row) for row in self._connection.execute(
-                    "SELECT site_domain, url, success, status, failure_reason,"
-                    " html, https FROM visits WHERE run_id=? ORDER BY position",
-                    (run_id,),
-                )
-            ]
-            log.requests = [
-                request_from_row(row) for row in self._connection.execute(
-                    "SELECT url, fqdn, scheme, page_domain, resource_type,"
-                    " initiator, referrer, seq, status, failed, error,"
-                    " redirect_location FROM requests"
-                    " WHERE run_id=? ORDER BY position", (run_id,),
-                )
-            ]
-            log.cookies = [
-                cookie_from_row(row) for row in self._connection.execute(
-                    "SELECT page_domain, set_by_host, domain, name, value,"
-                    " session, secure, over_https, seq FROM cookies"
-                    " WHERE run_id=? ORDER BY position", (run_id,),
-                )
-            ]
-            log.js_calls = [
-                jscall_from_row(row) for row in self._connection.execute(
-                    "SELECT script_url, document_host, api, args_json"
-                    " FROM js_calls WHERE run_id=? ORDER BY position",
-                    (run_id,),
-                )
-            ]
-        log._seq = run[2]
+            for index, local_id in handles:
+                row = self._conn(index).execute(
+                    "SELECT country_code, client_ip, seq FROM runs WHERE id=?",
+                    (local_id,),
+                ).fetchone()
+                country, client_ip = row[0], row[1]
+                seq = max(seq, row[2])
+        return country, client_ip, seq
+
+    def _count_rows(self, handles: List[Tuple[int, int]],
+                    table: str) -> int:
+        total = 0
+        with self._lock:
+            for index, local_id in handles:
+                total += self._conn(index).execute(
+                    f"SELECT COUNT(*) FROM {table} WHERE run_id=?",
+                    (local_id,),
+                ).fetchone()[0]
+        return total
+
+    def count_events(self, run: RunId, table: str) -> int:
+        """Total stored rows of one event table for a run."""
+        if table not in ("visits", "requests", "cookies", "js_calls"):
+            raise ValueError(f"unknown event table {table!r}")
+        return self._count_rows(self._resolve(run), table)
+
+    def count_successful_visits(self, run: RunId) -> int:
+        """How many stored visits succeeded (Table 2's denominators)."""
+        total = 0
+        with self._lock:
+            for index, local_id in self._resolve(run):
+                total += self._conn(index).execute(
+                    "SELECT COUNT(*) FROM visits"
+                    " WHERE run_id=? AND success=1", (local_id,),
+                ).fetchone()[0]
+        return total
+
+    def _iter_rows(self, run: RunId, table: str,
+                   columns: Sequence[str], batch: int) -> Iterator[tuple]:
+        """Rows of one event table in global position order.
+
+        Bounded memory: each shard scan advances via ``fetchmany`` on a
+        private read connection, and the fan-in is a ``heapq.merge`` on
+        the leading position column — at most one batch per shard is
+        resident.
+        """
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        handles = self._resolve(run)
+        select = (
+            f"SELECT position, {', '.join(columns)} FROM {table}"
+            " WHERE run_id=? ORDER BY position"
+        )
+
+        def shard_rows(index: int, local_id: int) -> Iterator[tuple]:
+            connection = self._read_conn(index)
+            try:
+                cursor = connection.execute(select, (local_id,))
+                while True:
+                    rows = cursor.fetchmany(batch)
+                    if not rows:
+                        return
+                    yield from rows
+            finally:
+                connection.close()
+
+        streams = [shard_rows(index, local_id) for index, local_id in handles]
+        if len(streams) == 1:
+            yield from (row[1:] for row in streams[0])
+        else:
+            yield from (
+                row[1:] for row in heapq.merge(*streams, key=lambda r: r[0])
+            )
+
+    def iter_visits(self, run: RunId, *, batch: int = 1024):
+        """Stored :class:`PageVisit` records in visit order."""
+        for row in self._iter_rows(run, "visits", VISIT_COLUMNS, batch):
+            yield visit_from_row(row)
+
+    def iter_requests(self, run: RunId, *, batch: int = 1024):
+        """Stored :class:`RequestRecord` records in observation order."""
+        for row in self._iter_rows(run, "requests", REQUEST_COLUMNS, batch):
+            yield request_from_row(row)
+
+    def iter_cookies(self, run: RunId, *, batch: int = 1024):
+        """Stored :class:`CookieRecord` records in observation order."""
+        for row in self._iter_rows(run, "cookies", COOKIE_COLUMNS, batch):
+            yield cookie_from_row(row)
+
+    def iter_js_calls(self, run: RunId, *, batch: int = 1024):
+        """Stored :class:`JSCall` records in observation order."""
+        for row in self._iter_rows(run, "js_calls", JSCALL_COLUMNS, batch):
+            yield jscall_from_row(row)
+
+    def log_view(self, run: RunId, *, batch: int = 1024) -> "StoredLogView":
+        """A re-iterable, cursor-backed stand-in for a hydrated log."""
+        return StoredLogView(self, run, batch=batch)
+
+    def load_log(self, run: RunId) -> CrawlLog:
+        """Reconstruct the (possibly partial) crawl log of a run.
+
+        Rows stream through the batched cursors — nothing is ever
+        ``fetchall``-ed — but the returned log is fully hydrated; use
+        :meth:`log_view` for bounded-memory consumption.
+        """
+        country, client_ip, seq = self._run_header(run)
+        log = CrawlLog(country_code=country, client_ip=client_ip)
+        log.visits = list(self.iter_visits(run))
+        log.requests = list(self.iter_requests(run))
+        log.cookies = list(self.iter_cookies(run))
+        log.js_calls = list(self.iter_js_calls(run))
+        log._seq = seq
         return log
 
     def run_manifests(self) -> List[RunManifest]:
-        """Every run with completion, per-table counts, and timings."""
+        """Every run with completion, per-table counts, and timings.
+
+        Sharded stores fan per-shard manifest rows back into one row per
+        logical run (counts summed, ``finished`` only when every shard
+        is stamped).
+        """
         query = """
             SELECT r.id, r.run_key, r.kind, r.country_code, r.client_ip,
                    r.total_sites,
@@ -400,28 +733,75 @@ class CrawlStore:
                    (SELECT COUNT(*) FROM requests q WHERE q.run_id = r.id),
                    (SELECT COUNT(*) FROM cookies c WHERE c.run_id = r.id),
                    (SELECT COUNT(*) FROM js_calls j WHERE j.run_id = r.id),
-                   r.elapsed, r.started_at, r.finished_at, r.stats_json
+                   r.elapsed, r.started_at, r.finished_at, r.stats_json,
+                   r.domains_hash
               FROM runs r ORDER BY r.id
         """
+        merged: Dict[Tuple[str, str], List] = {}
+        order: List[Tuple[str, str]] = []
         with self._lock:
-            rows = self._connection.execute(query).fetchall()
-        return [
-            RunManifest(
-                run_id=row[0], run_key=row[1], kind=row[2],
-                country_code=row[3], client_ip=row[4], total_sites=row[5],
-                completed_sites=row[6], visits=row[7], requests=row[8],
-                cookies=row[9], js_calls=row[10], elapsed=row[11],
-                started_at=row[12], finished_at=row[13],
-                stats=json.loads(row[14]) if row[14] else None,
-            )
-            for row in rows
-        ]
+            for index in range(self.shard_count):
+                for row in self._conn(index).execute(query):
+                    group = (row[1], row[15])
+                    if group not in merged:
+                        merged[group] = [
+                            row[0], row[1], row[2], row[3], row[4],
+                            row[5], row[6], row[7], row[8], row[9],
+                            row[10], row[11], row[12], row[13],
+                            json.loads(row[14]) if row[14] else None,
+                        ]
+                        order.append(group)
+                        continue
+                    entry = merged[group]
+                    for slot, value in zip(range(5, 11), row[5:11]):
+                        entry[slot] += value
+                    entry[11] += row[11]
+                    entry[12] = min(entry[12], row[12])
+                    entry[13] = (
+                        None if entry[13] is None or row[13] is None
+                        else max(entry[13], row[13])
+                    )
+                    if entry[14] is None and row[14]:
+                        entry[14] = json.loads(row[14])
+        manifests: List[RunManifest] = []
+        for group in order:
+            entry = merged[group]
+            manifests.append(RunManifest(
+                run_id=(RunRef(group[0], group[1]) if self.sharded
+                        else entry[0]),
+                run_key=entry[1], kind=entry[2],
+                country_code=entry[3], client_ip=entry[4],
+                total_sites=entry[5], completed_sites=entry[6],
+                visits=entry[7], requests=entry[8], cookies=entry[9],
+                js_calls=entry[10], elapsed=entry[11],
+                started_at=entry[12], finished_at=entry[13],
+                stats=entry[14],
+            ))
+        return manifests
+
+    def shard_infos(self) -> List[ShardInfo]:
+        """Per-shard file size and row counts (one entry for v1 files)."""
+        infos: List[ShardInfo] = []
+        with self._lock:
+            for index in range(self.shard_count):
+                conn = self._conn(index)
+                runs = conn.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+                visits = conn.execute(
+                    "SELECT COUNT(*) FROM visits"
+                ).fetchone()[0]
+                path = self._shard_paths[index]
+                infos.append(ShardInfo(
+                    index=index, path=path,
+                    size_bytes=os.path.getsize(path),
+                    runs=runs, visits=visits,
+                ))
+        return infos
 
     # -- artifacts ------------------------------------------------------
 
     def put_artifact(self, key: str, payload: bytes) -> None:
         """Store an opaque crawl product (e.g. the inspection pass)."""
-        with self._txn() as conn:
+        with self._txn(0) as conn:
             conn.execute(
                 "INSERT OR REPLACE INTO artifacts VALUES (?, ?, ?)",
                 (key, payload, time.time()),
@@ -429,10 +809,52 @@ class CrawlStore:
 
     def get_artifact(self, key: str) -> Optional[bytes]:
         with self._lock:
-            row = self._connection.execute(
+            row = self._conn(0).execute(
                 "SELECT payload FROM artifacts WHERE artifact_key=?", (key,),
             ).fetchone()
         return bytes(row[0]) if row else None
+
+
+class StoredLogView:
+    """A read-only, re-iterable view of one stored run.
+
+    Quacks like :class:`~repro.browser.events.CrawlLog` for analyses
+    that only *iterate* — each attribute access returns a fresh
+    bounded-memory cursor, so ``for r in view.requests`` twice scans the
+    store twice instead of holding rows.  Analyses that need random
+    access still hydrate via :meth:`CrawlStore.load_log`.
+    """
+
+    def __init__(self, store: CrawlStore, run: RunId, *,
+                 batch: int = 1024) -> None:
+        self._store = store
+        self._run = run
+        self._batch = batch
+        country, client_ip, _ = store._run_header(run)
+        self.country_code = country
+        self.client_ip = client_ip
+
+    @property
+    def visits(self):
+        return self._store.iter_visits(self._run, batch=self._batch)
+
+    @property
+    def requests(self):
+        return self._store.iter_requests(self._run, batch=self._batch)
+
+    @property
+    def cookies(self):
+        return self._store.iter_cookies(self._run, batch=self._batch)
+
+    @property
+    def js_calls(self):
+        return self._store.iter_js_calls(self._run, batch=self._batch)
+
+    def successful_visits(self):
+        return (v for v in self.visits if v.success)
+
+    def successful_visit_count(self) -> int:
+        return self._store.count_successful_visits(self._run)
 
 
 # ----------------------------------------------------------------------
@@ -462,7 +884,8 @@ def stored_crawl(
     epoch: str = "crawl",
     keep_html: bool = True,
     allow_crawl: bool = True,
-) -> CrawlLog:
+    hydrate: bool = True,
+) -> Optional[CrawlLog]:
     """Load, resume, or run one crawl through the store.
 
     Fully stored runs are loaded without touching a browser; partially
@@ -472,6 +895,12 @@ def stored_crawl(
     every site.  ``allow_crawl=False`` turns a miss into
     :class:`MissingRunError` (the ``repro report`` contract: render from
     the store, never crawl).
+
+    ``hydrate=False`` is the streaming mode: the crawl runs with trim
+    checkpointing (in-memory event lists dropped once each site is on
+    disk) and the function returns ``None`` — consumers read the rows
+    back through the store's cursors.  Peak memory is then bounded by
+    one site's events instead of the whole run.
     """
     from ..crawler.openwpm import OpenWPMCrawler
     from ..html.parser import parse_cache_stats
@@ -483,23 +912,32 @@ def stored_crawl(
     if not remaining:
         if not state.finished:
             store.finish_run(state.run_id)
-        return store.load_log(state.run_id)
+        return store.load_log(state.run_id) if hydrate else None
     if not allow_crawl:
         raise MissingRunError(
             f"store {store.path} holds {len(state.completed)}/{len(domains)} "
             f"sites for {kind} from {vantage.country_code}; re-run with "
             "--store to complete it"
         )
-    partial = store.load_log(state.run_id)
+    if hydrate:
+        partial = store.load_log(state.run_id)
+    else:
+        # Trim mode resumes with an empty log that only carries the seq
+        # counter forward; stored rows are never re-materialized.
+        partial = CrawlLog(country_code=vantage.country_code,
+                           client_ip=vantage.client_ip)
+        partial._seq = state.seq
     fetch_before = _cache_snapshot(universe.fetch_cache.stats)
     parse_before = _cache_snapshot(parse_cache_stats())
     crawler = OpenWPMCrawler(universe, vantage, epoch=epoch,
                              keep_html=keep_html)
-    log = crawler.crawl(remaining, log=partial,
-                        checkpoint=store.checkpointer(state.run_id))
+    log = crawler.crawl(
+        remaining, log=partial,
+        checkpoint=store.checkpointer(state.run_id, trim=not hydrate),
+    )
     store.finish_run(state.run_id, stats={
         "fetch_cache": _cache_delta(universe.fetch_cache.stats, fetch_before),
         "parse_cache": _cache_delta(parse_cache_stats(), parse_before),
         "resumed_from_site": len(state.completed),
     })
-    return log
+    return log if hydrate else None

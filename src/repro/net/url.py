@@ -220,10 +220,29 @@ def _parse_url_cached(raw: str, default_scheme: str) -> URL:
     return URL(scheme, host, port, path, query, fragment)
 
 
-@lru_cache(maxsize=None)
+# Public suffixes never exceed two labels, so for hosts with three or
+# more labels the answer depends only on the trailing label pair.  That
+# pair is the cache key: wildcard services mint one-shot *leading*
+# labels, so keying on the tail keeps the key space at the (small)
+# population of real registrable domains instead of leaking linearly
+# with crawl size.
+@lru_cache(maxsize=8_192)
+def _suffix_of_tail(tail: str) -> Optional[str]:
+    """Longest matching public suffix for a host ending in ``tail``
+    (two labels) that has at least one more label in front."""
+    if tail in PUBLIC_SUFFIXES:
+        return tail
+    label = tail.rsplit(".", 1)[1]
+    if label in PUBLIC_SUFFIXES:
+        return label
+    return None
+
+
 def _suffix_of(host: str) -> Optional[str]:
     """Return the longest matching public suffix of ``host``, if any."""
     labels = host.split(".")
+    if len(labels) > 2:
+        return _suffix_of_tail(labels[-2] + "." + labels[-1])
     # Longest match first: try 2-label suffixes, then 1-label ones.
     for take in (2, 1):
         if len(labels) > take:
@@ -235,6 +254,9 @@ def _suffix_of(host: str) -> Optional[str]:
     return None
 
 
+# Wildcard-subdomain services mint one-shot hostnames, so this cache
+# sees an unbounded stream of cold keys on large crawls; the hot set
+# (real site and service domains) is far smaller than the cap.
 @lru_cache(maxsize=65_536)
 def registrable_domain(host: str) -> str:
     """Return the registrable domain (eTLD+1) for ``host``.

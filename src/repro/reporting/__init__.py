@@ -11,6 +11,7 @@ from .figures import (
 )
 from .tables import (
     format_table,
+    render_shard_table,
     render_table1,
     render_table2,
     render_table3,
@@ -30,6 +31,7 @@ __all__ = [
     "figure4_ascii",
     "figure4_edges_csv",
     "format_table",
+    "render_shard_table",
     "render_table1",
     "render_table2",
     "render_table3",

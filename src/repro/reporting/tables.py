@@ -24,6 +24,7 @@ from ..core.owners import OwnerReport
 
 __all__ = [
     "format_table",
+    "render_shard_table",
     "render_table1",
     "render_table2",
     "render_table3",
@@ -51,6 +52,25 @@ def format_table(
     for row in materialized:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def render_shard_table(infos) -> str:
+    """``repro store info --shards``: one row per shard file.
+
+    ``infos`` is any sequence of objects shaped like
+    :class:`~repro.datastore.ShardInfo` (duck-typed to keep the
+    reporting layer free of datastore imports).
+    """
+    rows = [
+        (info.index, info.path, f"{info.size_bytes:,}",
+         f"{info.runs:,}", f"{info.visits:,}")
+        for info in infos
+    ]
+    total_bytes = sum(info.size_bytes for info in infos)
+    total_visits = sum(info.visits for info in infos)
+    rows.append(("total", f"{len(infos)} shard(s)", f"{total_bytes:,}",
+                 "—", f"{total_visits:,}"))
+    return format_table(("Shard", "File", "Bytes", "Runs", "Visits"), rows)
 
 
 def render_table1(owners: OwnerReport, best_rank: Callable[[str], int],

@@ -85,6 +85,7 @@ class Study:
         parallelism: Optional[int] = None,
         store: Optional[object] = None,
         store_only: bool = False,
+        store_shards: Optional[int] = None,
     ) -> None:
         """``parallelism`` bounds how many independent crawls run at once
         (default ``os.cpu_count()``).  ``parallelism=1`` reproduces the
@@ -95,8 +96,11 @@ class Study:
         ``store`` (a :class:`~repro.datastore.CrawlStore` or a path)
         persists every crawl and hydrates already-stored ones, making an
         interrupted study resumable at per-site granularity.
+        ``store_shards`` (with a path) creates/opens an N-shard store.
         ``store_only=True`` is the ``repro report`` contract: analyses
-        hydrate exclusively from stored logs, and a missing crawl raises
+        read exclusively from stored logs — streaming through datastore
+        cursors where the analysis supports it (labels, ATS, cookies,
+        HTTPS; see :meth:`porn_source`) — and a missing crawl raises
         :class:`~repro.datastore.MissingRunError` instead of touching a
         browser.
         """
@@ -106,7 +110,7 @@ class Study:
         self.parallelism = max(1, int(parallelism or default_parallelism()))
         if isinstance(store, (str, Path)):
             from .datastore import CrawlStore
-            store = CrawlStore(str(store))
+            store = CrawlStore(str(store), shards=store_shards)
         self.store = store
         self.store_only = store_only
         if store_only and store is None:
@@ -235,6 +239,67 @@ class Study:
             return crawler.crawl(self.universe.reference_regular_corpus())
 
         return self._memo("regular_log", crawl)
+
+    # -- streaming log sources ------------------------------------------
+
+    def _stored_view(self, country: str, kind: str,
+                     domains: Sequence[str], *, keep_html: bool):
+        from .datastore import MissingRunError
+
+        state = self.store.find_run(
+            self.universe.config, self.vantage_points.point(country), kind,
+            domains, keep_html=keep_html,
+        )
+        if state is None or not state.complete:
+            held = len(state.completed) if state is not None else 0
+            raise MissingRunError(
+                f"store {self.store.path} holds {held}/{len(domains)} sites "
+                f"for {kind} from {country}; re-run with --store to "
+                "complete it"
+            )
+        return self.store.log_view(state.run_id)
+
+    def porn_source(self, country: Optional[str] = None):
+        """The porn crawl for analyses that only *iterate* events.
+
+        In store-only mode this is a
+        :class:`~repro.datastore.StoredLogView` — every attribute access
+        is a fresh bounded-memory datastore cursor, so the labeling/ATS/
+        cookie/HTTPS pipelines never hydrate the run (at most one
+        ``fetchmany`` batch per shard is resident).  Otherwise it is the
+        memoized :meth:`porn_log`, making both paths byte-identical by
+        construction: the cursors yield the same records in the same
+        order the hydrated log holds them.
+        """
+        country = country or self.home_country
+        if not self.store_only:
+            return self.porn_log(country)
+        return self._memo(
+            f"porn_view:{country}",
+            lambda: self._stored_view(country, self._PORN_KIND,
+                                      self.corpus_domains(), keep_html=True),
+        )
+
+    def regular_source(self):
+        """Streaming counterpart of :meth:`regular_log` (see
+        :meth:`porn_source`)."""
+        if not self.store_only:
+            return self.regular_log()
+        return self._memo(
+            "regular_view",
+            lambda: self._stored_view(
+                self.home_country, self._REGULAR_KIND,
+                self.universe.reference_regular_corpus(), keep_html=False,
+            ),
+        )
+
+    @staticmethod
+    def _successful_visit_count(source) -> int:
+        """Successful-visit count without forcing a hydrated visit list."""
+        counter = getattr(source, "successful_visit_count", None)
+        if counter is not None:
+            return counter()
+        return len(source.successful_visits())
 
     # -- parallel crawl fan-out -----------------------------------------
 
@@ -483,14 +548,14 @@ class Study:
         country = country or self.home_country
         return self._memo(
             f"porn_labels:{country}",
-            lambda: label_parties(self.porn_log(country),
+            lambda: label_parties(self.porn_source(country),
                                   cert_lookup=self.universe.certificate_for),
         )
 
     def regular_labels(self) -> PartyLabels:
         return self._memo(
             "regular_labels",
-            lambda: label_parties(self.regular_log(),
+            lambda: label_parties(self.regular_source(),
                                   cert_lookup=self.universe.certificate_for),
         )
 
@@ -506,7 +571,7 @@ class Study:
         return self._memo(
             f"porn_ats:{country}",
             lambda: self.ats_classifier().classify_log(
-                self.porn_log(country),
+                self.porn_source(country),
                 third_party_fqdns=self.porn_labels(country).all_third_party_fqdns,
             ),
         )
@@ -515,7 +580,7 @@ class Study:
         return self._memo(
             "regular_ats",
             lambda: self.ats_classifier().classify_log(
-                self.regular_log(),
+                self.regular_source(),
                 third_party_fqdns=self.regular_labels().all_third_party_fqdns,
             ),
         )
@@ -556,8 +621,9 @@ class Study:
                 regular_labels=self.regular_labels(),
                 porn_ats=self.porn_ats(),
                 regular_ats=self.regular_ats(),
-                porn_visited=len(self.porn_log().successful_visits()),
-                regular_visited=len(self.regular_log().successful_visits()),
+                porn_visited=self._successful_visit_count(self.porn_source()),
+                regular_visited=self._successful_visit_count(
+                    self.regular_source()),
             ),
         )
 
@@ -570,7 +636,8 @@ class Study:
     def crawled_popularity(self) -> PopularityReport:
         """Popularity restricted to successfully crawled sites."""
         def build() -> PopularityReport:
-            crawled = {v.site_domain for v in self.porn_log().successful_visits()}
+            crawled = {v.site_domain
+                       for v in self.porn_source().successful_visits()}
             full = self.popularity()
             return PopularityReport(
                 [site for site in full.sites if site.domain in crawled]
@@ -586,8 +653,9 @@ class Study:
                 regular_labels=self.regular_labels(),
                 porn_attribution=self.porn_attribution(),
                 regular_attribution=self.regular_attribution(),
-                porn_visited=len(self.porn_log().successful_visits()),
-                regular_visited=len(self.regular_log().successful_visits()),
+                porn_visited=self._successful_visit_count(self.porn_source()),
+                regular_visited=self._successful_visit_count(
+                    self.regular_source()),
                 top_n=top_n,
             ),
         )
@@ -606,7 +674,7 @@ class Study:
                 registrable_domain(f) for f in self.porn_ats().ats_fqdns
             } | self.porn_ats().ats_domains_relaxed
             return analyze_cookies(
-                self.porn_log(),
+                self.porn_source(),
                 ats_domains=ats_bases,
                 regular_web_domains=regular_bases,
             )
@@ -631,7 +699,7 @@ class Study:
     def https_report(self) -> HTTPSReport:
         return self._memo(
             "https",
-            lambda: analyze_https(self.porn_log(), self.porn_labels(),
+            lambda: analyze_https(self.porn_source(), self.porn_labels(),
                                   self.crawled_popularity()),
         )
 

@@ -36,7 +36,7 @@ def rng_for(seed: int, *keys: Union[str, int]) -> np.random.Generator:
     return np.random.default_rng([seed & 0xFFFFFFFF, stable_hash(*keys) & 0xFFFFFFFF])
 
 
-@lru_cache(maxsize=262_144)
+@lru_cache(maxsize=32_768)
 def token_for(length: int, *parts: Union[str, int]) -> str:
     """A deterministic base-36 token of ``length`` characters.
 
@@ -45,7 +45,10 @@ def token_for(length: int, *parts: Union[str, int]) -> str:
     the same digest sequence (and therefore the same token) the original
     per-counter ``stable_hash`` loop produced.  Cookie values and minted
     hostnames recur heavily within a crawl (same site, same client), so
-    the whole function sits behind an ``lru_cache``.
+    the whole function sits behind an ``lru_cache``.  Recurrence is
+    almost entirely *within* a visit (a site's cookies are re-sent on
+    each of its requests, then never seen again), so a modest LRU keeps
+    the hit rate while bounding resident tokens on large crawls.
     """
     if length <= 0:
         return ""

@@ -13,7 +13,8 @@ direct generation targets rather than emergent accidents.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+import marshal
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -22,6 +23,16 @@ from ..net.tls import Certificate
 from ..net.whois import WhoisRegistry
 from ..util import rng_for, stable_hash
 from .config import CalibrationTargets, UniverseConfig
+from .lazyspecs import (
+    LazyCertificates,
+    LazyPolicyTexts,
+    LazySpecMap,
+    pack_porn_spec,
+    pack_regular_spec,
+    policy_to_row,
+    porn_spec_from_packed,
+    regular_spec_from_packed,
+)
 from .names import NameFactory
 from .organizations import TailOrgAllocator, operators_from_targets
 from .policytext import PolicyGenerator, PolicySpec, TEMPLATE_COUNT
@@ -1027,27 +1038,67 @@ class _Builder:
     # Finalization
     # ------------------------------------------------------------------
 
-    def finalize(self) -> Universe:
+    def finalize(self, *, lazy: bool = False,
+                 fetch_cache_size: Optional[int] = None) -> Universe:
+        """Assemble the universe.
+
+        ``lazy=True`` stores specs as packed rows decoded on access
+        (see :mod:`repro.webgen.lazyspecs`); attribute sampling is
+        identical — the two modes differ only in what stays resident.
+        """
         aggregators, category_sites = self._plan_discovery_sources()
 
-        porn_sites: Dict[str, PornSiteSpec] = {}
-        for domain, attrs in self.porn_attrs.items():
-            attrs["embedded_services"] = tuple(
-                dict.fromkeys(self.site_embeds.get(domain, ()))
+        if lazy:
+            porn_packed: Dict[str, bytes] = {}
+            for domain, attrs in self.porn_attrs.items():
+                attrs["embedded_services"] = tuple(
+                    dict.fromkeys(self.site_embeds.get(domain, ()))
+                )
+                porn_packed[domain] = pack_porn_spec(PornSiteSpec(**attrs))
+            regular_packed: Dict[str, bytes] = {}
+            for domain, attrs in self.regular_attrs.items():
+                embeds = attrs.pop("_embeds", [])
+                attrs["embedded_services"] = tuple(dict.fromkeys(embeds))
+                regular_packed[domain] = pack_regular_spec(
+                    RegularSiteSpec(**attrs)
+                )
+            porn_sites: Mapping = LazySpecMap(
+                porn_packed, porn_spec_from_packed
             )
-            porn_sites[domain] = PornSiteSpec(**attrs)
+            regular_sites: Mapping = LazySpecMap(
+                regular_packed, regular_spec_from_packed
+            )
+            certificates: Mapping = LazyCertificates(
+                self._build_service_certificates(),
+                porn_sites, regular_sites, self.site_cdns,
+            )
+            policy_texts: Mapping = self._plan_policy_texts()
+        else:
+            eager_porn: Dict[str, PornSiteSpec] = {}
+            for domain, attrs in self.porn_attrs.items():
+                attrs["embedded_services"] = tuple(
+                    dict.fromkeys(self.site_embeds.get(domain, ()))
+                )
+                eager_porn[domain] = PornSiteSpec(**attrs)
+            eager_regular: Dict[str, RegularSiteSpec] = {}
+            for domain, attrs in self.regular_attrs.items():
+                embeds = attrs.pop("_embeds", [])
+                attrs["embedded_services"] = tuple(dict.fromkeys(embeds))
+                eager_regular[domain] = RegularSiteSpec(**attrs)
+            porn_sites = eager_porn
+            regular_sites = eager_regular
+            certificates = self._build_certificates(eager_porn, eager_regular)
+            self._render_policies(eager_porn)
+            policy_texts = self.policy_texts
 
-        regular_sites: Dict[str, RegularSiteSpec] = {}
-        for domain, attrs in self.regular_attrs.items():
-            embeds = attrs.pop("_embeds", [])
-            attrs["embedded_services"] = tuple(dict.fromkeys(embeds))
-            regular_sites[domain] = RegularSiteSpec(**attrs)
-
-        certificates = self._build_certificates(porn_sites, regular_sites)
         easylist_text, easyprivacy_text = self._build_filter_lists()
         disconnect = self._build_disconnect()
-        whois = self._build_whois(porn_sites)
-        self._render_policies(porn_sites)
+        # The WHOIS pass draws from ``rng_sites`` once per operator-owned
+        # site, in porn-site insertion order — identical in both modes.
+        whois = self._build_whois(
+            (domain, attrs.get("owner"))
+            for domain, attrs in self.porn_attrs.items()
+        )
 
         return Universe(
             self.config,
@@ -1063,16 +1114,13 @@ class _Builder:
             disconnect=disconnect,
             aggregator_listings=aggregators,
             alexa_category_sites=category_sites,
-            policy_texts=self.policy_texts,
+            policy_texts=policy_texts,
             full_list_site=self.full_list_site,
             whois=whois,
+            fetch_cache_size=fetch_cache_size,
         )
 
-    def _build_certificates(
-        self,
-        porn_sites: Dict[str, PornSiteSpec],
-        regular_sites: Dict[str, RegularSiteSpec],
-    ) -> Dict[str, Certificate]:
+    def _build_service_certificates(self) -> Dict[str, Certificate]:
         certificates: Dict[str, Certificate] = {}
         for domain, service in self.services.items():
             if not service.https:
@@ -1082,6 +1130,14 @@ class _Builder:
                 subject_o=service.cert_org,
                 san=frozenset({domain, f"*.{domain}"}),
             )
+        return certificates
+
+    def _build_certificates(
+        self,
+        porn_sites: Dict[str, PornSiteSpec],
+        regular_sites: Dict[str, RegularSiteSpec],
+    ) -> Dict[str, Certificate]:
+        certificates = self._build_service_certificates()
         for domain, site in porn_sites.items():
             if site.https:
                 certificates[domain] = Certificate(
@@ -1122,23 +1178,29 @@ class _Builder:
                 easyprivacy.append(f"||{domain}^$third-party")
         return "\n".join(easylist), "\n".join(easyprivacy)
 
-    def _build_whois(self, porn_sites: Dict[str, PornSiteSpec]) -> WhoisRegistry:
+    def _build_whois(
+        self, porn_owners: Iterable[Tuple[str, Optional[str]]]
+    ) -> WhoisRegistry:
         """WHOIS records: ad-tech registers openly, porn sites hide.
 
         Attributable services expose their organization; porn-site records
         are privacy-redacted except for a fraction of operator-owned sites
         (§4.1 could attribute only 4% of sites to a company).
+
+        ``porn_owners`` yields ``(domain, owner)`` in porn-site insertion
+        order — the RNG draw per owned site makes the order part of the
+        deterministic contract.
         """
         registry = WhoisRegistry()
         for domain, service in self.services.items():
             registry.register(domain, organization=service.cert_org)
         operators = {op.name: op.legal_name
                      for op in operators_from_targets(self.targets)}
-        for domain, site in porn_sites.items():
+        for domain, owner in porn_owners:
             organization = None
-            if site.owner is not None and \
+            if owner is not None and \
                     self.rng_sites.random() < 0.6:
-                organization = operators.get(site.owner)
+                organization = operators.get(owner)
             registry.register(domain, organization=organization)
         return registry
 
@@ -1194,11 +1256,46 @@ class _Builder:
                 third_parties=third_parties,
             )
 
+    def _plan_policy_texts(self) -> LazyPolicyTexts:
+        """The lazy counterpart of :meth:`_render_policies`.
 
-def build_universe(config: Optional[UniverseConfig] = None) -> Universe:
-    """Build the complete synthetic web from a configuration."""
+        Same site selection and same render inputs, but the text (mean
+        ~17k chars, tail ~240k) is produced on first read.  Requires
+        ``porn_attrs[domain]["embedded_services"]`` to be final.
+        """
+        operators = {op.name: op for op in operators_from_targets(self.targets)}
+        plans: Dict[str, bytes] = {}
+        for domain, attrs in self.porn_attrs.items():
+            policy = attrs.get("policy")
+            if policy is None or policy.link_broken:
+                continue
+            company = None
+            owner = attrs.get("owner")
+            if owner is not None and owner in operators:
+                company = operators[owner].legal_name
+            third_parties: Tuple[str, ...] = ()
+            if policy.full_third_party_list:
+                third_parties = tuple(attrs["embedded_services"])
+            plans[domain] = marshal.dumps(
+                (policy_to_row(policy), company, third_parties)
+            )
+        return LazyPolicyTexts(plans, self.policy_gen)
+
+
+def build_universe(
+    config: Optional[UniverseConfig] = None,
+    *,
+    lazy: bool = False,
+    fetch_cache_size: Optional[int] = None,
+) -> Universe:
+    """Build the complete synthetic web from a configuration.
+
+    ``lazy=True`` keeps site specs as packed rows decoded on access —
+    bit-identical to the eager universe (asserted by the parity tests)
+    but O(routing tables + hot LRU) resident instead of O(corpus).
+    """
     builder = _Builder(config or UniverseConfig())
     builder.build_porn_sites()
     builder.build_services()
     builder.build_regular_sites()
-    return builder.finalize()
+    return builder.finalize(lazy=lazy, fetch_cache_size=fetch_cache_size)

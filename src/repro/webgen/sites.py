@@ -22,6 +22,10 @@ __all__ = [
     "DISCOVERY_AGGREGATOR",
     "DISCOVERY_ALEXA_CATEGORY",
     "DISCOVERY_KEYWORD",
+    "banner_to_row",
+    "banner_from_row",
+    "age_gate_to_row",
+    "age_gate_from_row",
 ]
 
 #: Degeling et al. banner taxonomy as used in Table 8.
@@ -133,6 +137,36 @@ class PornSiteSpec:
     @property
     def has_subscription(self) -> bool:
         return self.subscription is not None
+
+
+# ----------------------------------------------------------------------
+# Row codecs (see webgen.lazyspecs)
+#
+# Frozen sets are stored as sorted tuples: set equality is order-blind,
+# so ``frozenset(sorted(s)) == s`` and the decoded spec compares equal
+# to the one it was encoded from.
+# ----------------------------------------------------------------------
+
+def banner_to_row(spec: BannerSpec) -> tuple:
+    return (spec.banner_type, spec.eu_only, spec.non_eu_only)
+
+
+def banner_from_row(row: tuple) -> BannerSpec:
+    return BannerSpec(row[0], eu_only=row[1], non_eu_only=row[2])
+
+
+def age_gate_to_row(spec: AgeGateSpec) -> tuple:
+    countries = None if spec.countries is None else tuple(sorted(spec.countries))
+    return (spec.mode, countries, tuple(sorted(spec.suppressed_countries)))
+
+
+def age_gate_from_row(row: tuple) -> AgeGateSpec:
+    mode, countries, suppressed = row
+    return AgeGateSpec(
+        mode=mode,
+        countries=None if countries is None else frozenset(countries),
+        suppressed_countries=frozenset(suppressed),
+    )
 
 
 @dataclass(frozen=True)

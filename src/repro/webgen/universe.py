@@ -17,7 +17,9 @@ from __future__ import annotations
 import base64
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple,
+)
 
 import numpy as np
 
@@ -138,21 +140,22 @@ class Universe:
         self,
         config: UniverseConfig,
         *,
-        porn_sites: Dict[str, PornSiteSpec],
-        regular_sites: Dict[str, RegularSiteSpec],
+        porn_sites: Mapping[str, PornSiteSpec],
+        regular_sites: Mapping[str, RegularSiteSpec],
         services: Dict[str, ThirdPartyService],
         site_cdns: Dict[str, str],
         dynamic_cdn_sites: Set[str],
         rtb_bidders: List[str],
-        certificates: Dict[str, Certificate],
+        certificates: Mapping[str, Certificate],
         easylist_text: str,
         easyprivacy_text: str,
         disconnect: DisconnectList,
         aggregator_listings: Tuple[Tuple[str, ...], ...],
         alexa_category_sites: Tuple[str, ...],
-        policy_texts: Dict[str, str],
+        policy_texts: Mapping[str, str],
         full_list_site: Optional[str],
         whois: Optional[WhoisRegistry] = None,
+        fetch_cache_size: Optional[int] = None,
     ) -> None:
         self.config = config
         self.targets = config.targets
@@ -181,7 +184,11 @@ class Universe:
         #: client), so identical requests — the same ad pixel embedded on
         #: the same page, a bidder script recurring across frames — are
         #: served from memory.  Deterministic failures are cached too.
-        self.fetch_cache = FetchCache(maxsize=200_000)
+        #: The cap bounds resident response bytes independently of scale
+        #: (memory-sensitive callers pass a smaller ``fetch_cache_size``).
+        self.fetch_cache = FetchCache(
+            maxsize=fetch_cache_size if fetch_cache_size else 200_000
+        )
 
     # ------------------------------------------------------------------
     # Routing / DNS

@@ -153,10 +153,10 @@ class TestCachedParsingAgreement:
     ]
 
     def test_registrable_domain_cached_equals_uncached(self):
-        from repro.net.url import _suffix_of
+        from repro.net.url import _suffix_of_tail
 
         registrable_domain.cache_clear()
-        _suffix_of.cache_clear()
+        _suffix_of_tail.cache_clear()
         for host in self.TRICKY_HOSTS:
             cached = registrable_domain(host)
             uncached = registrable_domain.__wrapped__(host)
@@ -164,14 +164,28 @@ class TestCachedParsingAgreement:
             # A second call (guaranteed cache hit) still agrees.
             assert registrable_domain(host) == uncached, host
 
-    def test_suffix_of_cached_equals_uncached(self):
-        from repro.net.url import _suffix_of
+    def test_suffix_of_tail_keying_equals_full_scan(self):
+        """The tail-keyed suffix cache agrees with a longest-first scan
+        over the whole host (public suffixes never exceed two labels,
+        so the trailing pair determines the answer for deep hosts)."""
+        from repro.net.url import PUBLIC_SUFFIXES, _suffix_of, \
+            _suffix_of_tail
 
-        _suffix_of.cache_clear()
+        def reference(host):
+            labels = host.split(".")
+            for take in (2, 1):
+                if len(labels) > take:
+                    candidate = ".".join(labels[-take:])
+                    if candidate in PUBLIC_SUFFIXES:
+                        return candidate
+            return host if host in PUBLIC_SUFFIXES else None
+
+        _suffix_of_tail.cache_clear()
         for host in self.TRICKY_HOSTS:
             normalized = host.lower().rstrip(".")
-            assert _suffix_of(normalized) == \
-                _suffix_of.__wrapped__(normalized), host
+            assert _suffix_of(normalized) == reference(normalized), host
+            # Again, now guaranteed to hit the tail cache for deep hosts.
+            assert _suffix_of(normalized) == reference(normalized), host
 
     def test_parse_url_cached_equals_uncached(self):
         from repro.net.url import _parse_url_cached
