@@ -2,7 +2,8 @@ PYTHON ?= python
 SCALE ?= 0.2
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick profile store-check parallel-check scale-check
+.PHONY: test bench bench-quick profile store-check parallel-check \
+	scale-check serve-check
 
 ## Run the tier-1 test suite.
 test:
@@ -21,7 +22,7 @@ bench-quick:
 		--parallelism-set 1 --output BENCH_quick.json
 	$(PYTHON) -c "import json; \
 	d = json.load(open('BENCH_quick.json')); \
-	assert d['schema'] == 'bench-pipeline/v4', d['schema']; \
+	assert d['schema'] == 'bench-pipeline/v5', d['schema']; \
 	stages = d['runs'][0]['stages']; \
 	wanted = ('analysis:table2', 'analysis:geography', 'analysis:banners', \
 	          'analysis:owners', 'analysis:policies', 'analysis:all'); \
@@ -30,8 +31,13 @@ bench-quick:
 	assert d['runs'][0]['stage_rss_mb']['crawl:all'] > 0; \
 	memory = d['memory_scaling']; \
 	assert memory['reference_tables_match'] is True, memory; \
-	print('bench-quick: schema v4, analysis:* stages present,', \
-	      'streaming tables match reference')"
+	service = d['service']; \
+	assert service['subscribers'] == 8, service; \
+	assert service['events_per_sec'] > 0, service; \
+	assert service['served_table_p50_ms'] > 0, service; \
+	print('bench-quick: schema v5, analysis:* stages present,', \
+	      'streaming tables match reference,', \
+	      'service block recorded')"
 
 ## Memory-flatness gate: run the streaming probe (lazy universe, sharded
 ## store, trim-mode crawl, cursor analyses) at two scales and fail if the
@@ -70,6 +76,14 @@ store-check:
 	diff /tmp/repro-study.out /tmp/repro-sharded.out
 	$(PYTHON) -m repro store info /tmp/repro-store-check.db --verbose
 	$(PYTHON) -m repro store info /tmp/repro-store-check-sharded --shards
+
+## Measurement-service gate (used by CI): boot `repro serve` on an
+## ephemeral port, submit a scale-0.02 study over HTTP, stream its events
+## to completion from two concurrent subscribers, and require the served
+## report — whole and reassembled from the per-section endpoints — to be
+## byte-identical to `repro report` against the same store.
+serve-check:
+	$(PYTHON) benchmarks/serve_check.py
 
 ## Profile one sequential pipeline run and print the top-20 functions by
 ## total own time.

@@ -26,6 +26,14 @@ landing pages.  The top-level ``analysis_speedup`` compares
 ``analysis:all`` against the measured pre-optimization counterfactual
 (dense similarity + unfiltered banner detection on identical inputs).
 
+Schema v5 adds the ``service`` block: a fresh-subprocess probe that
+boots the measurement service (``repro serve``) on an ephemeral port,
+submits one study job over HTTP, and records the submit→first-SSE-event
+latency, the aggregate events/sec delivered to **8 concurrent SSE
+subscribers** streaming the job to completion, and the p50 latency of a
+served table (``GET /jobs/<id>/tables/table2``) against the warm store.
+Probe scale via ``REPRO_PERF_SERVICE_SCALE`` (default 0.02).
+
 Schema v4 adds the memory axis.  Every run carries ``stage_rss_mb`` —
 the process RSS high-water mark sampled after each pipeline stage, so a
 stage that balloons memory is attributable — and the document gains a
@@ -62,9 +70,16 @@ import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_pipeline.json"
-SCHEMA = "bench-pipeline/v4"
+SCHEMA = "bench-pipeline/v5"
 DEFAULT_COUNTRIES = ("ES", "US", "UK", "RU", "IN", "SG")
 DEFAULT_MEM_SCALES = (0.05, 0.1)
+DEFAULT_SERVICE_SCALE = 0.02
+
+#: Concurrent SSE subscribers the service probe streams a job to.
+SERVICE_SUBSCRIBERS = 8
+
+#: Warm-store samples behind the served-table p50.
+SERVICE_TABLE_SAMPLES = 21
 
 #: Fetch-cache entry cap for the memory probes.  The default cache
 #: (200k entries) is effectively unbounded at probe scales; pinning a
@@ -534,6 +549,91 @@ def run_reference_probe(scale: float) -> dict:
 
 
 # --------------------------------------------------------------------------
+# Service probe: the measurement service under streaming load, in-process.
+# --------------------------------------------------------------------------
+
+def run_service_probe(scale: float) -> dict:
+    """The ``service`` block: SSE delivery and result-serving latency.
+
+    Boots a :class:`repro.service.ReproServer` over a fresh sharded
+    store, submits one study job over HTTP, and measures: the wall time
+    from submitting until the first SSE frame reaches a subscriber; the
+    aggregate event frames/sec delivered to ``SERVICE_SUBSCRIBERS``
+    concurrent subscribers each streaming the whole job; and the p50
+    round-trip of a served table once the store is warm.
+    """
+    import statistics
+    import tempfile
+    import threading
+    import urllib.request
+
+    from repro.service import ReproServer
+    from repro.service.sse import parse_stream
+
+    clock = time.perf_counter
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        server = ReproServer(os.path.join(tmp, "store"), port=0,
+                             workers=1, store_shards=2)
+        server.start()
+        try:
+            request = urllib.request.Request(
+                server.url + "/jobs", method="POST",
+                data=json.dumps({"scale": scale}).encode(),
+                headers={"Content-Type": "application/json"})
+            submit_start = clock()
+            job = json.loads(urllib.request.urlopen(request).read())
+            events_url = server.url + f"/jobs/{job['id']}/events"
+            with urllib.request.urlopen(events_url) as resp:
+                resp.readline()  # the first frame's "id: 0" line
+                first_event_s = clock() - submit_start
+
+            counts = [0] * SERVICE_SUBSCRIBERS
+
+            def subscribe(index: int) -> None:
+                chunks = []
+                with urllib.request.urlopen(events_url) as stream:
+                    for chunk in stream:
+                        chunks.append(chunk)
+                counts[index] = sum(1 for _ in parse_stream(chunks))
+
+            threads = [threading.Thread(target=subscribe, args=(index,))
+                       for index in range(SERVICE_SUBSCRIBERS)]
+            stream_start = clock()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stream_seconds = clock() - stream_start
+            assert len(set(counts)) == 1, counts  # identical streams
+
+            table_url = server.url + f"/jobs/{job['id']}/tables/table2"
+            urllib.request.urlopen(table_url).read()  # warm the study
+            samples = []
+            for _ in range(SERVICE_TABLE_SAMPLES):
+                start = clock()
+                urllib.request.urlopen(table_url).read()
+                samples.append(clock() - start)
+        finally:
+            server.stop()
+
+    delivered = sum(counts)
+    return {
+        "scale": scale,
+        "subscribers": SERVICE_SUBSCRIBERS,
+        "events_per_subscriber": counts[0],
+        "submit_to_first_event_ms": round(first_event_s * 1000, 2),
+        "stream_seconds": round(stream_seconds, 4),
+        "events_per_sec": round(delivered / stream_seconds, 1)
+        if stream_seconds else None,
+        "served_table": "table2",
+        "served_table_samples": SERVICE_TABLE_SAMPLES,
+        "served_table_p50_ms": round(
+            statistics.median(samples) * 1000, 2),
+        "peak_rss_mb": _peak_rss_mb(),
+    }
+
+
+# --------------------------------------------------------------------------
 # Orchestrator: one subprocess per configuration, merged JSON at repo root.
 # --------------------------------------------------------------------------
 
@@ -613,10 +713,16 @@ def run_memory_scaling(scales=None) -> dict:
     return block
 
 
+def _service_scale() -> float:
+    return float(os.environ.get("REPRO_PERF_SERVICE_SCALE",
+                                str(DEFAULT_SERVICE_SCALE)))
+
+
 def run_benchmark(scale: float, parallelism_set=(1, 4),
                   output_path: pathlib.Path = OUTPUT_PATH,
                   memory_scales=None) -> dict:
     runs = [_run_config_isolated(scale, p) for p in parallelism_set]
+    service_scale = _service_scale()
     document = {
         "schema": SCHEMA,
         "scale": scale,
@@ -624,6 +730,10 @@ def run_benchmark(scale: float, parallelism_set=(1, 4),
         "countries": list(DEFAULT_COUNTRIES),
         "runs": runs,
         "memory_scaling": run_memory_scaling(memory_scales),
+        "service": _run_child(
+            ["--scale", str(service_scale), "--service-probe"],
+            f"service-probe scale={service_scale}",
+        ),
     }
     baseline = next((r for r in runs if r["parallelism"] == 1), None)
     if baseline is not None:
@@ -710,6 +820,12 @@ def test_perf_pipeline():
         assert probe["pages"] > 0
         assert probe["peak_rss_mb"] > 0
         assert probe["shards"] == MEM_PROBE_SHARDS
+    service = document["service"]
+    assert service["subscribers"] == SERVICE_SUBSCRIBERS
+    assert service["events_per_subscriber"] > 0
+    assert service["submit_to_first_event_ms"] > 0
+    assert service["events_per_sec"] > 0
+    assert service["served_table_p50_ms"] > 0
     print(json.dumps(document, indent=2))
 
 
@@ -729,6 +845,10 @@ def main() -> None:
     parser.add_argument("--reference-probe", action="store_true",
                         help="child mode: eager in-memory reference for "
                              "table parity at --scale")
+    parser.add_argument("--service-probe", action="store_true",
+                        help="child mode: boot the measurement service, "
+                             "stream one job to 8 SSE subscribers, and "
+                             "time result serving at --scale")
     parser.add_argument("--memory-scales", default=None,
                         help="orchestrator mode: comma-separated probe "
                              "scales (default REPRO_PERF_MEM_SCALES or "
@@ -745,6 +865,8 @@ def main() -> None:
         child = run_memory_probe(args.scale)
     elif args.reference_probe:
         child = run_reference_probe(args.scale)
+    elif args.service_probe:
+        child = run_service_probe(args.scale)
     elif args.parallelism is not None:
         child = run_pipeline(args.scale, args.parallelism)
     if child is not None:

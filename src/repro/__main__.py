@@ -8,6 +8,8 @@ Commands
 ``report``        — render every table and figure purely from a crawl store.
 ``store info``    — print a store's run manifests (timings, counts, caches).
 ``store reshard`` — convert a single-file store into an N-shard directory.
+``serve``         — run the measurement service: a job queue, SSE progress
+                    streams, and result endpoints over one shared store.
 
 Every crawling command accepts ``--scale`` (corpus size as a fraction of
 the paper's 6,843 sites), ``--seed``, and ``--store PATH`` (persist
@@ -29,19 +31,7 @@ import time
 
 from . import Study, UniverseConfig
 from .net.url import registrable_domain
-from .reporting import (
-    figure1_ascii,
-    figure3_ascii,
-    figure4_ascii,
-    render_table1,
-    render_table2,
-    render_table3,
-    render_table4,
-    render_table5,
-    render_table6,
-    render_table7,
-    render_table8,
-)
+from .reporting import full_report
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -97,10 +87,20 @@ def _print_cache_stats(universe) -> None:
 
 
 def cmd_crawl(args: argparse.Namespace) -> int:
+    from collections import Counter
+
     from .crawler import OpenWPMCrawler
 
     study = _build_study(args)
     domains = study.corpus_domains()[: args.sites]
+    # The same per-site hook the measurement service streams over SSE;
+    # here it just counts milestones for the --stats summary.
+    progress_counts: Counter = Counter()
+
+    def progress(event: str, **fields) -> None:
+        progress_counts[event] += 1
+
+    hook = progress if args.stats else None
     started = time.perf_counter()
     if args.store:
         from .datastore import stored_crawl
@@ -108,13 +108,13 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         log = stored_crawl(
             study.store, study.universe,
             study.vantage_points.point(args.country),
-            Study._PORN_KIND, domains,
+            Study._PORN_KIND, domains, progress=hook,
         )
     else:
         crawler = OpenWPMCrawler(
             study.universe, study.vantage_points.point(args.country)
         )
-        log = crawler.crawl(domains)
+        log = crawler.crawl(domains, progress=hook)
     elapsed = time.perf_counter() - started
     ok = sum(1 for visit in log.visits if visit.success)
     print(f"crawled {ok}/{len(domains)} sites from {args.country}: "
@@ -130,54 +130,23 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         print(f"  {domain}")
     if args.stats:
         print(f"\ncrawl wall time: {elapsed:.2f}s")
+        print(f"progress events: {progress_counts['site_started']} sites "
+              f"started, {progress_counts['site_finished']} finished, "
+              f"{progress_counts['run_started']} runs")
         _print_cache_stats(study.universe)
     return 0
 
 
 def _render_study(study: Study, scale: float, geo: bool) -> None:
-    """Print every table and figure (shared by ``study`` and ``report``)."""
-    print(f"== corpus ({len(study.corpus_domains())} sites) ==")
-    print(figure1_ascii(study.popularity()))
-    print("\n== Table 1: owners ==")
-    print(render_table1(study.owners(), study.best_rank))
-    print("\n== Table 2: third parties ==")
-    print(render_table2(study.table2()))
-    print("\n== Table 3: long tail ==")
-    print(render_table3(study.table3()))
-    print("\n== Figure 3: organizations ==")
-    print(figure3_ascii(study.figure3(top_n=10)))
-    print("\n== Table 4: cookies ==")
-    print(render_table4(study.cookie_stats()))
-    print("\n== Figure 4: cookie syncing ==")
-    print(figure4_ascii(study.cookie_sync(),
-                        minimum=max(2, int(75 * scale))))
-    print("\n== Table 5: fingerprinting ==")
-    fingerprinting = study.fingerprinting()
-    porn_labels = study.porn_labels()
-    regular_bases = {
-        registrable_domain(fqdn)
-        for fqdn in study.regular_labels().all_third_party_fqdns
-    }
-    print(render_table5(
-        fingerprinting.per_service_table(
-            lambda domain: len(porn_labels.sites_embedding(domain))
-        ),
-        is_ats=study.ats_classifier().matches_domain,
-        in_regular_web=lambda domain: domain in regular_bases,
-    ))
-    print("\n== Table 6: HTTPS ==")
-    print(render_table6(study.https_report()))
-    malware = study.malware()
-    print(f"\n§5.3 malware: {len(malware.malicious_sites)} malicious porn "
-          f"sites, {len(malware.malicious_third_parties)} malicious third "
-          f"parties reaching {malware.affected_site_count} sites; "
-          f"cryptomining: {len(malware.miner_services)} services on "
-          f"{len(malware.miner_sites)} sites")
-    if geo:
-        print("\n== Table 7: geography ==")
-        print(render_table7(study.geography()))
-    print("\n== Table 8: banners ==")
-    print(render_table8(study.banners("ES"), study.banners("US")))
+    """Print every table and figure (shared by ``study`` and ``report``).
+
+    The text comes verbatim from :func:`repro.reporting.full_report`,
+    the same section renderer the measurement service serves results
+    through — which is what makes a served table byte-identical to this
+    output (CI's ``make serve-check`` reassembles the report from the
+    service's sections and diffs it against this command).
+    """
+    print(full_report(study, scale, geo=geo), end="")
 
 
 def _print_similarity_stats() -> None:
@@ -295,11 +264,57 @@ def cmd_store_reshard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ReproServer
+
+    server = ReproServer(
+        args.store, port=args.port, host=args.host, workers=args.workers,
+        store_shards=args.store_shards, verbose=args.verbose,
+    )
+    # Flushed before blocking so wrapper scripts can scrape the bound
+    # port (--port 0 binds an ephemeral one).
+    print(f"serving on {server.url} (store {args.store}, "
+          f"{args.workers} worker{'s' if args.workers != 1 else ''})",
+          flush=True)
+    try:
+        server.serve_forever()
+    finally:
+        server.stop()
+    return 0
+
+
+def package_version() -> str:
+    """The installed package version, or the one pinned in pyproject.toml.
+
+    A source checkout run via ``PYTHONPATH=src`` has no installed
+    distribution, so the pyproject file two levels above the package is
+    the fallback source of truth.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        pass
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        for line in pyproject.read_text().splitlines():
+            if line.startswith("version"):
+                return line.split("=", 1)[1].strip().strip('"')
+    except OSError:
+        pass
+    return "unknown"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Tales from the Porn' (IMC 2019)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {package_version()}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     corpus = subparsers.add_parser("corpus", help="compile the §3 corpus")
@@ -357,12 +372,36 @@ def build_parser() -> argparse.ArgumentParser:
     reshard.add_argument("--shards", type=int, required=True,
                          help="number of shard files (>= 2)")
     reshard.set_defaults(func=cmd_store_reshard)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived measurement service"
+    )
+    serve.add_argument("--store", metavar="DIR", required=True,
+                       help="shared crawl datastore jobs read and write "
+                            "(created if missing)")
+    serve.add_argument("--port", type=int, default=8008,
+                       help="listen port (0 binds an ephemeral port)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="measurement worker threads draining the "
+                            "job queue")
+    serve.add_argument("--store-shards", metavar="N", type=int, default=None,
+                       help="create the store as N shard files")
+    serve.add_argument("--verbose", "-v", action="store_true",
+                       help="log every HTTP request to stderr")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Conventional 128+SIGINT exit, and no traceback splatter when a
+        # long crawl or the serve loop is ^C'd.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -38,8 +38,8 @@ import multiprocessing
 import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..browser.events import CrawlLog
 from ..core.ats import ATSClassifier, ATSResult
@@ -151,12 +151,20 @@ class _WorkerContext:
     ``store_path`` travels as a path, never as an open handle: SQLite
     connections must not cross ``fork``, so each worker opens its own
     connection against the shared WAL store.
+
+    ``progress`` is the per-site observation hook (see
+    :meth:`OpenWPMCrawler.crawl`).  It only fires on the serial and
+    thread backends: a forked child calling the parent's callback would
+    publish events into its own copy of the process, so the fork path
+    strips it (the service, which needs the events, runs its studies at
+    ``parallelism=1``).
     """
 
     universe: Universe
     vantage_points: VantagePointManager
     classifier: Optional[ATSClassifier] = None
     store_path: Optional[str] = None
+    progress: Optional[Callable[..., None]] = None
 
 
 #: Set by the parent immediately before spawning a fork-based pool so
@@ -181,11 +189,11 @@ def _crawl_spec_log(context: _WorkerContext, spec: CrawlSpec) -> CrawlLog:
                 store, context.universe, vantage,
                 spec.store_kind or f"openwpm:{spec.key}",
                 list(spec.domains), epoch=spec.epoch,
-                keep_html=spec.keep_html,
+                keep_html=spec.keep_html, progress=context.progress,
             )
     crawler = OpenWPMCrawler(context.universe, vantage, epoch=spec.epoch,
                              keep_html=spec.keep_html)
-    return crawler.crawl(list(spec.domains))
+    return crawler.crawl(list(spec.domains), progress=context.progress)
 
 
 def _execute_spec(context: _WorkerContext,
@@ -247,10 +255,16 @@ class CrawlExecutor:
         backend: Optional[str] = None,
         classifier: Optional[ATSClassifier] = None,
         store=None,
+        progress: Optional[Callable[..., None]] = None,
     ) -> None:
         """``store`` (a :class:`~repro.datastore.CrawlStore` or a path)
         makes every crawl persistent and resumable: workers record
         per-site completion and skip sites the store already holds.
+
+        ``progress(event, **fields)`` observes site/run milestones on
+        the serial and thread backends; the process backend drops it
+        (events would fire in the forked children — see
+        :class:`_WorkerContext`).
         """
         if backend not in (None, "process", "thread", "serial"):
             raise ValueError(f"unknown backend: {backend!r}")
@@ -260,6 +274,7 @@ class CrawlExecutor:
         self.backend = backend
         self._classifier = classifier
         self.store_path = getattr(store, "path", store)
+        self.progress = progress
 
     # ------------------------------------------------------------------
 
@@ -286,7 +301,8 @@ class CrawlExecutor:
             )
             self._classifier = classifier
         return _WorkerContext(self.universe, self.vantage_points, classifier,
-                              store_path=self.store_path)
+                              store_path=self.store_path,
+                              progress=self.progress)
 
     # ------------------------------------------------------------------
 
@@ -330,7 +346,10 @@ class CrawlExecutor:
     ) -> List[Union[CrawlOutcome, _WorkerFailure]]:
         global _FORK_CONTEXT
         mp_context = multiprocessing.get_context("fork")
-        _FORK_CONTEXT = context
+        # Per-site progress callbacks would fire inside the children;
+        # strip them so observers never see phantom events (documented
+        # on _WorkerContext).
+        _FORK_CONTEXT = replace(context, progress=None)
         try:
             with ProcessPoolExecutor(max_workers=workers,
                                      mp_context=mp_context) as pool:

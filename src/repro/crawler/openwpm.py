@@ -38,7 +38,8 @@ class OpenWPMCrawler:
               *, log: Optional[CrawlLog] = None,
               checkpoint: Optional[Callable[
                   [str, CrawlLog, Tuple[int, int, int, int]], None
-              ]] = None) -> CrawlLog:
+              ]] = None,
+              progress: Optional[Callable[..., None]] = None) -> CrawlLog:
         """Visit each domain's landing page once, in order.
 
         A single cookie jar spans the whole crawl; pass an existing ``log``
@@ -53,14 +54,30 @@ class OpenWPMCrawler:
         truthy value asks for *trim mode*: the just-persisted events are
         dropped from memory (the sequence counter keeps running), which
         bounds crawl RSS by one site's events instead of the whole run.
+
+        ``progress(event, **fields)`` is the generic observation hook the
+        CLI ``--stats`` output and the measurement service share: it
+        fires as ``progress("site_started", country=..., domain=...,
+        index=i, total=n)`` before each visit and ``"site_finished"``
+        *after* the visit's checkpoint has committed — so an exception
+        raised from a ``site_finished`` callback (the service's
+        cooperative cancellation) can never tear a site's stored slice.
         """
         browser = Browser(self.universe, self.client, log=log,
                           keep_html=self.keep_html)
         log = browser.log
-        for domain in domains:
+        domains = list(domains)
+        country = self.vantage.country_code
+        for index, domain in enumerate(domains):
+            if progress is not None:
+                progress("site_started", country=country, domain=domain,
+                         index=index, total=len(domains))
             marks = (len(log.visits), len(log.requests),
                      len(log.cookies), len(log.js_calls))
             browser.visit(domain)
             if checkpoint is not None and checkpoint(domain, log, marks):
                 log.clear_events()
+            if progress is not None:
+                progress("site_finished", country=country, domain=domain,
+                         index=index, total=len(domains))
         return log

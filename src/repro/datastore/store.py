@@ -861,6 +861,25 @@ class StoredLogView:
 # The crawl-through-the-store entry point
 # ----------------------------------------------------------------------
 
+#: In-process serialization of same-run crawls.  The service's worker
+#: pool may execute two jobs that need the same logical run (same
+#: run_key + domains_hash) concurrently; without a lock both would
+#: resume the run and race to insert the same row positions.  The loser
+#: of this lock finds the run complete and loads it instead.  Keyed by
+#: (absolute store path, run_key, domains_hash); cross-*process* writers
+#: are already serialized per checkpoint by WAL, and distinct runs never
+#: contend.
+_RUN_LOCKS: Dict[Tuple[str, str, str], threading.Lock] = {}
+_RUN_LOCKS_GUARD = threading.Lock()
+
+
+def _run_lock(store_path: str, key: str, dh: str) -> threading.Lock:
+    with _RUN_LOCKS_GUARD:
+        return _RUN_LOCKS.setdefault(
+            (os.path.abspath(store_path), key, dh), threading.Lock()
+        )
+
+
 def _cache_snapshot(stats) -> Tuple[int, int, int]:
     return (stats.hits, stats.misses, stats.evictions)
 
@@ -885,6 +904,7 @@ def stored_crawl(
     keep_html: bool = True,
     allow_crawl: bool = True,
     hydrate: bool = True,
+    progress=None,
 ) -> Optional[CrawlLog]:
     """Load, resume, or run one crawl through the store.
 
@@ -901,43 +921,68 @@ def stored_crawl(
     disk) and the function returns ``None`` — consumers read the rows
     back through the store's cursors.  Peak memory is then bounded by
     one site's events instead of the whole run.
+
+    ``progress(event, **fields)`` observes the crawl: ``run_started``
+    fires once up front (with ``completed`` telling how many sites the
+    store already held — 0 for a fresh run, ``total`` for a pure load),
+    the crawler's per-site ``site_started``/``site_finished`` hooks fire
+    for every *remaining* site, and ``run_finished`` fires once the run
+    manifest is stamped.  Concurrent callers targeting the same logical
+    run serialize on an in-process lock; the second caller finds the
+    rows stored and degrades to a load.
     """
     from ..crawler.openwpm import OpenWPMCrawler
     from ..html.parser import parse_cache_stats
 
     domains = list(domains)
-    state = store.open_run(universe.config, vantage, kind, domains,
-                           epoch=epoch, keep_html=keep_html)
-    remaining = state.remaining
-    if not remaining:
-        if not state.finished:
-            store.finish_run(state.run_id)
-        return store.load_log(state.run_id) if hydrate else None
-    if not allow_crawl:
-        raise MissingRunError(
-            f"store {store.path} holds {len(state.completed)}/{len(domains)} "
-            f"sites for {kind} from {vantage.country_code}; re-run with "
-            "--store to complete it"
+    key = run_key(universe.config, vantage, kind, epoch=epoch,
+                  keep_html=keep_html)
+    with _run_lock(store.path, key, domains_hash(domains)):
+        state = store.open_run(universe.config, vantage, kind, domains,
+                               epoch=epoch, keep_html=keep_html)
+        remaining = state.remaining
+        if progress is not None:
+            progress("run_started", kind=kind,
+                     country=vantage.country_code, total=len(domains),
+                     completed=len(state.completed))
+        if not remaining:
+            if not state.finished:
+                store.finish_run(state.run_id)
+            if progress is not None:
+                progress("run_finished", kind=kind,
+                         country=vantage.country_code, total=len(domains))
+            return store.load_log(state.run_id) if hydrate else None
+        if not allow_crawl:
+            raise MissingRunError(
+                f"store {store.path} holds "
+                f"{len(state.completed)}/{len(domains)} "
+                f"sites for {kind} from {vantage.country_code}; re-run with "
+                "--store to complete it"
+            )
+        if hydrate:
+            partial = store.load_log(state.run_id)
+        else:
+            # Trim mode resumes with an empty log that only carries the seq
+            # counter forward; stored rows are never re-materialized.
+            partial = CrawlLog(country_code=vantage.country_code,
+                               client_ip=vantage.client_ip)
+            partial._seq = state.seq
+        fetch_before = _cache_snapshot(universe.fetch_cache.stats)
+        parse_before = _cache_snapshot(parse_cache_stats())
+        crawler = OpenWPMCrawler(universe, vantage, epoch=epoch,
+                                 keep_html=keep_html)
+        log = crawler.crawl(
+            remaining, log=partial,
+            checkpoint=store.checkpointer(state.run_id, trim=not hydrate),
+            progress=progress,
         )
-    if hydrate:
-        partial = store.load_log(state.run_id)
-    else:
-        # Trim mode resumes with an empty log that only carries the seq
-        # counter forward; stored rows are never re-materialized.
-        partial = CrawlLog(country_code=vantage.country_code,
-                           client_ip=vantage.client_ip)
-        partial._seq = state.seq
-    fetch_before = _cache_snapshot(universe.fetch_cache.stats)
-    parse_before = _cache_snapshot(parse_cache_stats())
-    crawler = OpenWPMCrawler(universe, vantage, epoch=epoch,
-                             keep_html=keep_html)
-    log = crawler.crawl(
-        remaining, log=partial,
-        checkpoint=store.checkpointer(state.run_id, trim=not hydrate),
-    )
-    store.finish_run(state.run_id, stats={
-        "fetch_cache": _cache_delta(universe.fetch_cache.stats, fetch_before),
-        "parse_cache": _cache_delta(parse_cache_stats(), parse_before),
-        "resumed_from_site": len(state.completed),
-    })
-    return log if hydrate else None
+        store.finish_run(state.run_id, stats={
+            "fetch_cache": _cache_delta(universe.fetch_cache.stats,
+                                        fetch_before),
+            "parse_cache": _cache_delta(parse_cache_stats(), parse_before),
+            "resumed_from_site": len(state.completed),
+        })
+        if progress is not None:
+            progress("run_finished", kind=kind,
+                     country=vantage.country_code, total=len(domains))
+        return log if hydrate else None

@@ -9,6 +9,14 @@ from .figures import (
     figure4_ascii,
     figure4_edges_csv,
 )
+from .sections import (
+    FIGURE_SECTIONS,
+    full_report,
+    render_figure,
+    render_section,
+    report_sections,
+    section_names,
+)
 from .tables import (
     format_table,
     render_shard_table,
@@ -23,7 +31,13 @@ from .tables import (
 )
 
 __all__ = [
+    "FIGURE_SECTIONS",
     "bar",
+    "full_report",
+    "render_figure",
+    "render_section",
+    "report_sections",
+    "section_names",
     "figure1_ascii",
     "figure1_csv",
     "figure3_ascii",

@@ -1,0 +1,167 @@
+"""The study report as an ordered list of named sections.
+
+One source of truth for everything the full report prints: the CLI
+(``repro study`` / ``repro report``) joins the sections into the
+familiar stdout report, and the measurement service serves each section
+individually (``GET /jobs/<id>/tables/<name>``).  Because both consumers
+render through this module, a served section is byte-identical to the
+corresponding chunk of ``repro report`` *by construction* — the CI
+``make serve-check`` gate reassembles the full report from the served
+sections and diffs it against the CLI output to keep it that way.
+
+A section's text never carries the blank separator line; the full
+report is ``"\\n\\n".join(texts)`` plus a trailing newline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..net.url import registrable_domain
+from .figures import figure1_ascii, figure3_ascii, figure4_ascii
+from .tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8,
+)
+
+__all__ = [
+    "FIGURE_SECTIONS",
+    "full_report",
+    "render_figure",
+    "render_section",
+    "report_sections",
+    "section_names",
+]
+
+#: Section names served under ``/figures/`` rather than ``/tables/``.
+FIGURE_SECTIONS = frozenset({"figure3", "figure4"})
+
+
+def _corpus_section(study) -> str:
+    return (f"== corpus ({len(study.corpus_domains())} sites) ==\n"
+            + figure1_ascii(study.popularity()))
+
+
+def _table5_section(study) -> str:
+    fingerprinting = study.fingerprinting()
+    porn_labels = study.porn_labels()
+    regular_bases = {
+        registrable_domain(fqdn)
+        for fqdn in study.regular_labels().all_third_party_fqdns
+    }
+    return "== Table 5: fingerprinting ==\n" + render_table5(
+        fingerprinting.per_service_table(
+            lambda domain: len(porn_labels.sites_embedding(domain))
+        ),
+        is_ats=study.ats_classifier().matches_domain,
+        in_regular_web=lambda domain: domain in regular_bases,
+    )
+
+
+def _malware_section(study) -> str:
+    malware = study.malware()
+    return (
+        f"§5.3 malware: {len(malware.malicious_sites)} malicious porn "
+        f"sites, {len(malware.malicious_third_parties)} malicious third "
+        f"parties reaching {malware.affected_site_count} sites; "
+        f"cryptomining: {len(malware.miner_services)} services on "
+        f"{len(malware.miner_sites)} sites"
+    )
+
+
+def _section_builders(study, scale: float, geo: bool):
+    """``(name, thunk)`` per section, in print order; nothing evaluated."""
+    builders = [
+        ("corpus", lambda: _corpus_section(study)),
+        ("table1", lambda: "== Table 1: owners ==\n"
+            + render_table1(study.owners(), study.best_rank)),
+        ("table2", lambda: "== Table 2: third parties ==\n"
+            + render_table2(study.table2())),
+        ("table3", lambda: "== Table 3: long tail ==\n"
+            + render_table3(study.table3())),
+        ("figure3", lambda: "== Figure 3: organizations ==\n"
+            + figure3_ascii(study.figure3(top_n=10))),
+        ("table4", lambda: "== Table 4: cookies ==\n"
+            + render_table4(study.cookie_stats())),
+        ("figure4", lambda: "== Figure 4: cookie syncing ==\n"
+            + figure4_ascii(study.cookie_sync(),
+                            minimum=max(2, int(75 * scale)))),
+        ("table5", lambda: _table5_section(study)),
+        ("table6", lambda: "== Table 6: HTTPS ==\n"
+            + render_table6(study.https_report())),
+        ("malware", lambda: _malware_section(study)),
+    ]
+    if geo:
+        builders.append(
+            ("table7", lambda: "== Table 7: geography ==\n"
+                + render_table7(study.geography()))
+        )
+    builders.append(
+        ("table8", lambda: "== Table 8: banners ==\n"
+            + render_table8(study.banners("ES"), study.banners("US")))
+    )
+    return builders
+
+
+def report_sections(study, scale: float,
+                    geo: bool = False) -> List[Tuple[str, str]]:
+    """Every section of the full study report, in print order.
+
+    Evaluating the list pulls each analysis through the study's memo,
+    so it works identically on a live study and a store-only one
+    (``repro report``).
+    """
+    return [(name, thunk())
+            for name, thunk in _section_builders(study, scale, geo)]
+
+
+def render_section(study, scale: float, name: str) -> str:
+    """One section's text, evaluating only the analyses it needs.
+
+    This is the service's result path: a job that ran a subset of
+    analyses can serve the sections that subset feeds without the
+    renderer demanding crawls the store does not hold.  Every section is
+    addressable (``geo=True``), including ``table7``.
+    """
+    for section, thunk in _section_builders(study, scale, geo=True):
+        if section == name:
+            return thunk()
+    raise KeyError(name)
+
+
+def section_names(geo: bool = False) -> List[str]:
+    """The section names a report renders, in order, without a study."""
+    names = ["corpus", "table1", "table2", "table3", "figure3", "table4",
+             "figure4", "table5", "table6", "malware"]
+    if geo:
+        names.append("table7")
+    names.append("table8")
+    return names
+
+
+def full_report(study, scale: float, geo: bool = False) -> str:
+    """The complete report text exactly as the CLI prints it."""
+    texts = [text for _, text in report_sections(study, scale, geo=geo)]
+    return "\n\n".join(texts) + "\n"
+
+
+def render_figure(study, scale: float, name: str) -> str:
+    """A figure's raw ASCII art (no ``== header ==`` line).
+
+    ``figure1`` is only available here — in the report it is embedded in
+    the ``corpus`` section.
+    """
+    if name == "figure1":
+        return figure1_ascii(study.popularity())
+    if name == "figure3":
+        return figure3_ascii(study.figure3(top_n=10))
+    if name == "figure4":
+        return figure4_ascii(study.cookie_sync(),
+                             minimum=max(2, int(75 * scale)))
+    raise KeyError(name)

@@ -1,0 +1,44 @@
+"""Measurement-as-a-service: a long-running server over a shared store.
+
+The CLI runs one study per process; this package turns the same
+machinery into a service many clients share.  Four layers, stdlib only:
+
+1. :mod:`jobs` — the job model (universe config + vantage points +
+   analysis selection), a persistent queue journaled to SQLite next to
+   the shard files, and the worker pool that executes jobs on the
+   existing ``Study``/``stored_crawl`` machinery with cooperative
+   cancellation at per-site checkpoint boundaries.
+2. :mod:`events` — per-job append-only event logs fanned out to any
+   number of subscribers (the same per-site/per-analysis hooks the CLI
+   progress output consumes).
+3. :mod:`sse` — Server-Sent Events framing for those event streams.
+4. :mod:`server` / :mod:`api` — the HTTP surface: submit/list/cancel
+   jobs, stream progress, and fetch result tables/figures rendered
+   byte-identically to ``repro report`` straight from the store.
+
+Start it with ``repro serve --store DIR --port N --workers K``.
+"""
+
+from .events import EventLog, JobEvent, TERMINAL_KINDS
+from .jobs import (
+    ANALYSIS_NAMES,
+    Job,
+    JobCancelled,
+    JobManager,
+    JobSpec,
+    JobState,
+)
+from .server import ReproServer
+
+__all__ = [
+    "ANALYSIS_NAMES",
+    "EventLog",
+    "Job",
+    "JobCancelled",
+    "JobEvent",
+    "JobManager",
+    "JobSpec",
+    "JobState",
+    "ReproServer",
+    "TERMINAL_KINDS",
+]

@@ -86,6 +86,7 @@ class Study:
         store: Optional[object] = None,
         store_only: bool = False,
         store_shards: Optional[int] = None,
+        progress: Optional[Callable[..., None]] = None,
     ) -> None:
         """``parallelism`` bounds how many independent crawls run at once
         (default ``os.cpu_count()``).  ``parallelism=1`` reproduces the
@@ -103,6 +104,15 @@ class Study:
         HTTPS; see :meth:`porn_source`) — and a missing crawl raises
         :class:`~repro.datastore.MissingRunError` instead of touching a
         browser.
+
+        ``progress(event, **fields)`` observes every crawl the study
+        runs (``run_started``/``site_started``/``site_finished``/
+        ``run_finished`` — the hook the CLI ``--stats`` line and the
+        measurement service's event streams are built on).  Per-site
+        events fire inline for sequential crawls and on the thread
+        backend; the fork backend drops them (see
+        :class:`~repro.crawler.executor.CrawlExecutor`), so event-driven
+        consumers should run with ``parallelism=1``.
         """
         self.universe = universe
         self.vantage_points = vantage_points or VantagePointManager()
@@ -113,6 +123,7 @@ class Study:
             store = CrawlStore(str(store), shards=store_shards)
         self.store = store
         self.store_only = store_only
+        self.progress = progress
         if store_only and store is None:
             raise ValueError("store_only=True requires a store")
         self._cache: Dict[str, object] = {}
@@ -204,6 +215,7 @@ class Study:
             self.store, self.universe, self.vantage_points.point(country),
             kind, domains, keep_html=keep_html,
             allow_crawl=not self.store_only,
+            progress=self.progress,
         )
 
     def porn_log(self, country: Optional[str] = None) -> CrawlLog:
@@ -221,7 +233,8 @@ class Study:
                 self.universe, self.vantage_points.point(country),
                 keep_html=True,
             )
-            return crawler.crawl(self.corpus_domains())
+            return crawler.crawl(self.corpus_domains(),
+                                 progress=self.progress)
 
         return self._memo(f"porn_log:{country}", crawl)
 
@@ -236,7 +249,8 @@ class Study:
                 self.universe, self.vantage_points.point(self.home_country),
                 keep_html=False,
             )
-            return crawler.crawl(self.universe.reference_regular_corpus())
+            return crawler.crawl(self.universe.reference_regular_corpus(),
+                                 progress=self.progress)
 
         return self._memo("regular_log", crawl)
 
@@ -312,6 +326,7 @@ class Study:
             parallelism=self.parallelism,
             classifier=self._cache.get("ats_classifier"),
             store=self.store,
+            progress=self.progress,
         )
 
     def _porn_spec(self, country: str,

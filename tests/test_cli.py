@@ -62,3 +62,32 @@ class TestCommands:
         for marker in ("Table 2", "Table 4", "Figure 4", "Table 5",
                        "§5.3 malware", "Table 6", "Table 8"):
             assert marker in out
+
+    def test_crawl_stats_prints_progress_counts(self, capsys):
+        assert main(["crawl", "--scale", "0.02", "--seed", "3",
+                     "--sites", "4", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "progress events: 4 sites started, 4 finished" in out
+
+
+class TestProcessConventions:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.strip() != "repro unknown"
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        from repro import __main__ as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "cmd_corpus", interrupted)
+        parser = cli.build_parser()
+        monkeypatch.setattr(cli, "build_parser", lambda: parser)
+        parser.parse_args(["corpus"])  # sanity: still parses
+        assert main(["corpus"]) == 130
+        assert "interrupted" in capsys.readouterr().err
