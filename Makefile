@@ -3,7 +3,7 @@ SCALE ?= 0.2
 export PYTHONPATH := src
 
 .PHONY: test bench bench-quick profile store-check parallel-check \
-	scale-check serve-check
+	scale-check serve-check delta-check
 
 ## Run the tier-1 test suite.
 test:
@@ -17,12 +17,12 @@ bench:
 ## Fast sequential-only bench smoke (used by CI): scale 0.02, parallelism 1.
 ## Writes BENCH_quick.json so the checked-in BENCH_pipeline.json stays put.
 bench-quick:
-	REPRO_PERF_MEM_SCALES=0.02,0.04 \
+	REPRO_PERF_MEM_SCALES=0.02,0.04 REPRO_PERF_DELTA_SCALE=0.05 \
 	$(PYTHON) benchmarks/test_perf_pipeline.py --scale 0.02 \
 		--parallelism-set 1 --output BENCH_quick.json
 	$(PYTHON) -c "import json; \
 	d = json.load(open('BENCH_quick.json')); \
-	assert d['schema'] == 'bench-pipeline/v5', d['schema']; \
+	assert d['schema'] == 'bench-pipeline/v6', d['schema']; \
 	stages = d['runs'][0]['stages']; \
 	wanted = ('analysis:table2', 'analysis:geography', 'analysis:banners', \
 	          'analysis:owners', 'analysis:policies', 'analysis:all'); \
@@ -35,9 +35,15 @@ bench-quick:
 	assert service['subscribers'] == 8, service; \
 	assert service['events_per_sec'] > 0, service; \
 	assert service['served_table_p50_ms'] > 0, service; \
-	print('bench-quick: schema v5, analysis:* stages present,', \
+	delta = d['delta']; \
+	assert delta['stores_identical'] is True, delta; \
+	assert delta['spliced'] > 0, delta; \
+	assert delta['speedup'] and delta['speedup'] > 1.0, delta; \
+	print('bench-quick: schema v6, analysis:* stages present,', \
 	      'streaming tables match reference,', \
-	      'service block recorded')"
+	      'service block recorded,', \
+	      'delta store byte-identical at', \
+	      str(delta['speedup']) + 'x')"
 
 ## Memory-flatness gate: run the streaming probe (lazy universe, sharded
 ## store, trim-mode crawl, cursor analyses) at two scales and fail if the
@@ -84,6 +90,14 @@ store-check:
 ## byte-identical to `repro report` against the same store.
 serve-check:
 	$(PYTHON) benchmarks/serve_check.py
+
+## Delta-crawl gate (used by CI): evolve the universe one epoch (~5% of
+## sites change content), crawl epoch 1 as a delta against the epoch-0
+## store and again as a full re-crawl, and require byte-identical stores,
+## byte-identical rendered sections, and a >= 3x speedup.  Tune with
+## REPRO_DELTA_CHECK_SCALE / _CHURN / _SPEEDUP.
+delta-check:
+	$(PYTHON) benchmarks/delta_check.py
 
 ## Profile one sequential pipeline run and print the top-20 functions by
 ## total own time.

@@ -34,6 +34,16 @@ subscribers** streaming the job to completion, and the p50 latency of a
 served table (``GET /jobs/<id>/tables/table2``) against the warm store.
 Probe scale via ``REPRO_PERF_SERVICE_SCALE`` (default 0.02).
 
+Schema v6 adds the ``delta`` block: a fresh-subprocess probe that crawls
+the seed epoch into a baseline store, evolves the universe one epoch
+(``REPRO_PERF_DELTA_CHURN`` content churn, default 0.05), and crawls
+epoch 1 twice — once as a delta crawl splicing provably-unchanged
+sites' stored slices out of the baseline, once as a full crawl — then
+verifies the two stores hold byte-identical event rows and records the
+spliced fraction, the delta-vs-full speedup, and where the cookie-jar
+digest first diverged.  Probe scale via ``REPRO_PERF_DELTA_SCALE``
+(default 0.1).
+
 Schema v4 adds the memory axis.  Every run carries ``stage_rss_mb`` —
 the process RSS high-water mark sampled after each pipeline stage, so a
 stage that balloons memory is attributable — and the document gains a
@@ -70,10 +80,15 @@ import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_pipeline.json"
-SCHEMA = "bench-pipeline/v5"
+SCHEMA = "bench-pipeline/v6"
 DEFAULT_COUNTRIES = ("ES", "US", "UK", "RU", "IN", "SG")
 DEFAULT_MEM_SCALES = (0.05, 0.1)
 DEFAULT_SERVICE_SCALE = 0.02
+DEFAULT_DELTA_SCALE = 0.1
+
+#: Per-epoch content churn for the delta probe: ~5% of sites change, so
+#: ~95% of slices are spliceable — the regime delta crawls are for.
+DELTA_PROBE_CHURN = 0.05
 
 #: Concurrent SSE subscribers the service probe streams a job to.
 SERVICE_SUBSCRIBERS = 8
@@ -549,6 +564,118 @@ def run_reference_probe(scale: float) -> dict:
 
 
 # --------------------------------------------------------------------------
+# Delta probe: stored-slice splicing vs. a full re-crawl, in-process.
+# --------------------------------------------------------------------------
+
+def _store_digest(store) -> str:
+    """SHA-256 over every stored event row of every run, in manifest order.
+
+    Positions are included (they are part of the row tuples), so two
+    stores digest equal only if they hold byte-identical event tables —
+    the delta probe's parity check against the full re-crawl.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    manifests = sorted(store.run_manifests(),
+                       key=lambda m: (m.kind, m.country_code))
+    for manifest in manifests:
+        digest.update(
+            f"{manifest.kind}|{manifest.country_code}"
+            f"|{manifest.total_sites}".encode()
+        )
+        for table in ("visits", "requests", "cookies", "js_calls"):
+            for row in store.event_rows_in_range(manifest.run_id, table,
+                                                 0, 1 << 60):
+                digest.update(repr(row).encode())
+    return digest.hexdigest()
+
+
+def run_delta_probe(scale: float, *, churn: float = DELTA_PROBE_CHURN,
+                    store_dir=None) -> dict:
+    """The ``delta`` block: incremental crawl of an evolved epoch.
+
+    Crawls the seed epoch into a baseline store, evolves one epoch, and
+    crawls epoch 1 twice in streaming mode — the delta crawl *first* so
+    the full crawl inherits any warm global caches and the reported
+    speedup is conservative.  Verifies byte-identical stores and
+    reports the spliced fraction, the speedup, and the per-kind
+    jar-digest divergence points (the position where a ``jar_sensitive``
+    universe would have stopped splicing; the stock universe serves
+    cookie-blind, so splicing continues past it).
+    """
+    import tempfile
+
+    from repro import Study, UniverseConfig
+    from repro.datastore import CrawlStore, stored_crawl
+    from repro.webgen.builder import build_universe
+
+    clock = time.perf_counter
+    store_dir = store_dir or tempfile.mkdtemp(prefix="repro-delta-probe-")
+
+    def crawl_both(store, universe, domains, regular, vantage,
+                   baseline=None):
+        stored_crawl(store, universe, vantage, Study._PORN_KIND, domains,
+                     hydrate=False, baseline=baseline)
+        stored_crawl(store, universe, vantage, Study._REGULAR_KIND, regular,
+                     keep_html=False, hydrate=False, baseline=baseline)
+
+    base_config = UniverseConfig(scale=scale, churn=churn)
+    base_universe = build_universe(base_config, lazy=True)
+    base_study = Study(base_universe, parallelism=1)
+    domains = base_study.corpus_domains()
+    regular = base_universe.reference_regular_corpus()
+    vantage = base_study.vantage_points.point(base_study.home_country)
+
+    base_store = CrawlStore(os.path.join(store_dir, "epoch0"))
+    start = clock()
+    crawl_both(base_store, base_universe, domains, regular, vantage)
+    baseline_seconds = clock() - start
+
+    evolved_config = UniverseConfig(scale=scale, churn=churn, epoch=1)
+
+    delta_universe = build_universe(evolved_config, lazy=True)
+    delta_store = CrawlStore(os.path.join(store_dir, "epoch1-delta"))
+    start = clock()
+    crawl_both(delta_store, delta_universe, domains, regular, vantage,
+               baseline=base_store)
+    delta_seconds = clock() - start
+
+    full_universe = build_universe(evolved_config, lazy=True)
+    full_store = CrawlStore(os.path.join(store_dir, "epoch1-full"))
+    start = clock()
+    crawl_both(full_store, full_universe, domains, regular, vantage)
+    full_seconds = clock() - start
+
+    spliced = crawled = 0
+    runs = {}
+    for manifest in delta_store.run_manifests():
+        stats = (manifest.stats or {}).get("delta") or {}
+        spliced += stats.get("spliced", 0)
+        crawled += stats.get("crawled", 0)
+        runs[manifest.kind] = stats
+    total = spliced + crawled
+    return {
+        "scale": scale,
+        "churn": churn,
+        "corpus_size": len(domains),
+        "sites": total,
+        "spliced": spliced,
+        "crawled": crawled,
+        "spliced_fraction": round(spliced / total, 4) if total else None,
+        "runs": runs,
+        "baseline_seconds": round(baseline_seconds, 4),
+        "full_seconds": round(full_seconds, 4),
+        "delta_seconds": round(delta_seconds, 4),
+        "speedup": round(full_seconds / delta_seconds, 2)
+        if delta_seconds else None,
+        "stores_identical": _store_digest(full_store)
+        == _store_digest(delta_store),
+        "peak_rss_mb": _peak_rss_mb(),
+    }
+
+
+# --------------------------------------------------------------------------
 # Service probe: the measurement service under streaming load, in-process.
 # --------------------------------------------------------------------------
 
@@ -718,11 +845,22 @@ def _service_scale() -> float:
                                 str(DEFAULT_SERVICE_SCALE)))
 
 
+def _delta_scale() -> float:
+    return float(os.environ.get("REPRO_PERF_DELTA_SCALE",
+                                str(DEFAULT_DELTA_SCALE)))
+
+
+def _delta_churn() -> float:
+    return float(os.environ.get("REPRO_PERF_DELTA_CHURN",
+                                str(DELTA_PROBE_CHURN)))
+
+
 def run_benchmark(scale: float, parallelism_set=(1, 4),
                   output_path: pathlib.Path = OUTPUT_PATH,
                   memory_scales=None) -> dict:
     runs = [_run_config_isolated(scale, p) for p in parallelism_set]
     service_scale = _service_scale()
+    delta_scale = _delta_scale()
     document = {
         "schema": SCHEMA,
         "scale": scale,
@@ -733,6 +871,10 @@ def run_benchmark(scale: float, parallelism_set=(1, 4),
         "service": _run_child(
             ["--scale", str(service_scale), "--service-probe"],
             f"service-probe scale={service_scale}",
+        ),
+        "delta": _run_child(
+            ["--scale", str(delta_scale), "--delta-probe"],
+            f"delta-probe scale={delta_scale}",
         ),
     }
     baseline = next((r for r in runs if r["parallelism"] == 1), None)
@@ -826,6 +968,11 @@ def test_perf_pipeline():
     assert service["submit_to_first_event_ms"] > 0
     assert service["events_per_sec"] > 0
     assert service["served_table_p50_ms"] > 0
+    delta = document["delta"]
+    assert delta["stores_identical"] is True
+    assert delta["spliced"] > 0 and delta["crawled"] > 0
+    assert 0.5 < delta["spliced_fraction"] < 1.0
+    assert delta["speedup"] is not None and delta["speedup"] > 1.0
     print(json.dumps(document, indent=2))
 
 
@@ -849,6 +996,11 @@ def main() -> None:
                         help="child mode: boot the measurement service, "
                              "stream one job to 8 SSE subscribers, and "
                              "time result serving at --scale")
+    parser.add_argument("--delta-probe", action="store_true",
+                        help="child mode: crawl the seed epoch, evolve "
+                             "one epoch, then time a delta crawl against "
+                             "a full re-crawl at --scale and verify "
+                             "byte-identical stores")
     parser.add_argument("--memory-scales", default=None,
                         help="orchestrator mode: comma-separated probe "
                              "scales (default REPRO_PERF_MEM_SCALES or "
@@ -867,6 +1019,13 @@ def main() -> None:
         child = run_reference_probe(args.scale)
     elif args.service_probe:
         child = run_service_probe(args.scale)
+    elif args.delta_probe:
+        # ``make delta-check`` pins the store dir so it can re-render
+        # tables from the probe's epoch-1 stores after the probe exits.
+        child = run_delta_probe(
+            args.scale, churn=_delta_churn(),
+            store_dir=os.environ.get("REPRO_PERF_DELTA_STORE_DIR"),
+        )
     elif args.parallelism is not None:
         child = run_pipeline(args.scale, args.parallelism)
     if child is not None:

@@ -6,6 +6,8 @@ Commands
 ``crawl``         — crawl N sites from a vantage point, print tracker summary.
 ``study``         — run the full study and print every table and figure.
 ``report``        — render every table and figure purely from a crawl store.
+``trend``         — longitudinal report across per-epoch stores: tracker
+                    prevalence, HTTPS adoption, and organization churn.
 ``store info``    — print a store's run manifests (timings, counts, caches).
 ``store reshard`` — convert a single-file store into an N-shard directory.
 ``serve``         — run the measurement service: a job queue, SSE progress
@@ -16,6 +18,13 @@ the paper's 6,843 sites), ``--seed``, and ``--store PATH`` (persist
 crawls to a SQLite datastore; an interrupted run resumes at per-site
 granularity; add ``--store-shards N`` to create a sharded store).
 ``report`` and ``store info`` read scale and seed from the store itself.
+
+Longitudinal runs add ``--epoch N`` (evolve the universe N epochs past
+the seed one: trackers are born, die, and consolidate; sites migrate to
+HTTPS, adopt banners, and churn content) and ``--since PATH`` (delta
+crawl: splice event slices for provably-unchanged sites out of a prior
+epoch's store instead of re-rendering them — byte-identical to a full
+crawl by construction, and several times faster at low churn).
 
 The CLI builds its universes in *lazy* mode: site specs are minted on
 first fetch from compact packed rows (bit-identical to eager
@@ -38,6 +47,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.1,
                         help="corpus scale (1.0 = the paper's 6,843 sites)")
     parser.add_argument("--seed", type=int, default=20191021)
+    parser.add_argument("--epoch", type=int, default=0,
+                        help="evolve the universe this many epochs past "
+                             "the seed one (tracker birth/death/"
+                             "consolidation, HTTPS migration, banner "
+                             "spread, content churn)")
+    parser.add_argument("--churn", type=float, default=0.1,
+                        help="fraction of sites whose content changes "
+                             "per epoch")
 
 
 def _add_store(parser: argparse.ArgumentParser) -> None:
@@ -47,15 +64,24 @@ def _add_store(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--store-shards", metavar="N", type=int, default=None,
                         help="create the store as N shard files keyed by "
                              "site domain (checkpoints touch one shard)")
+    parser.add_argument("--since", metavar="PATH", default=None,
+                        help="delta crawl against this prior-epoch store: "
+                             "sites whose content is provably unchanged "
+                             "splice their stored slices instead of "
+                             "re-rendering (results byte-identical to a "
+                             "full crawl)")
 
 
 def _build_study(args: argparse.Namespace) -> Study:
     from .webgen.builder import build_universe
 
-    config = UniverseConfig(seed=args.seed, scale=args.scale)
+    config = UniverseConfig(seed=args.seed, scale=args.scale,
+                            epoch=getattr(args, "epoch", 0),
+                            churn=getattr(args, "churn", 0.1))
     return Study(build_universe(config, lazy=True),
                  store=getattr(args, "store", None),
                  store_shards=getattr(args, "store_shards", None),
+                 baseline_store=getattr(args, "since", None),
                  parallelism=getattr(args, "parallelism", None))
 
 
@@ -98,7 +124,9 @@ def cmd_crawl(args: argparse.Namespace) -> int:
     progress_counts: Counter = Counter()
 
     def progress(event: str, **fields) -> None:
-        progress_counts[event] += 1
+        # The fork executor backend replays worker tallies as one
+        # event with count=N; inline events carry no count field.
+        progress_counts[event] += fields.get("count", 1)
 
     hook = progress if args.stats else None
     started = time.perf_counter()
@@ -109,6 +137,7 @@ def cmd_crawl(args: argparse.Namespace) -> int:
             study.store, study.universe,
             study.vantage_points.point(args.country),
             Study._PORN_KIND, domains, progress=hook,
+            baseline=study.baseline_store,
         )
     else:
         crawler = OpenWPMCrawler(
@@ -132,6 +161,7 @@ def cmd_crawl(args: argparse.Namespace) -> int:
         print(f"\ncrawl wall time: {elapsed:.2f}s")
         print(f"progress events: {progress_counts['site_started']} sites "
               f"started, {progress_counts['site_finished']} finished, "
+              f"{progress_counts['site_spliced']} spliced, "
               f"{progress_counts['run_started']} runs")
         _print_cache_stats(study.universe)
     return 0
@@ -193,6 +223,38 @@ def cmd_report(args: argparse.Namespace) -> int:
                   store_only=True)
     try:
         _render_study(study, config.scale, args.geo)
+    except MissingRunError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    from .datastore import CrawlStore, MissingRunError
+    from .reporting import trend_report
+    from .webgen.builder import build_universe
+
+    studies = []
+    for path in args.stores:
+        store = CrawlStore(path)
+        config = store.stored_config()
+        if config is None:
+            print(f"error: {path} holds no runs; populate it with "
+                  "`repro study --store` first", file=sys.stderr)
+            return 1
+        studies.append(
+            (config.epoch,
+             Study(build_universe(config, lazy=True), store=store,
+                   store_only=True))
+        )
+    epochs = [epoch for epoch, _ in studies]
+    if len(set(epochs)) != len(epochs):
+        print(f"error: duplicate epochs in {args.stores} "
+              f"(epochs {sorted(epochs)}); pass one store per epoch",
+              file=sys.stderr)
+        return 1
+    try:
+        print(trend_report(studies), end="")
     except MissingRunError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -354,6 +416,14 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--geo", action="store_true",
                         help="include the six-country Table 7")
     report.set_defaults(func=cmd_report)
+
+    trend = subparsers.add_parser(
+        "trend", help="longitudinal report across per-epoch stores"
+    )
+    trend.add_argument("stores", metavar="STORE", nargs="+",
+                       help="one crawl store per epoch (any order); each "
+                            "written by `repro study --store --epoch N`")
+    trend.set_defaults(func=cmd_trend)
 
     store = subparsers.add_parser("store", help="inspect a crawl datastore")
     store_sub = store.add_subparsers(dest="store_command", required=True)

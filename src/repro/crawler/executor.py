@@ -37,9 +37,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 import traceback
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union,
+)
 
 from ..browser.events import CrawlLog
 from ..core.ats import ATSClassifier, ATSResult
@@ -112,6 +115,11 @@ class CrawlOutcome:
     labels: Optional[PartyLabels] = None
     ats: Optional[ATSResult] = None
     malware: Optional[MalwareReport] = None
+    #: Per-event tallies counted inside a forked worker (whose local
+    #: progress events cannot reach the parent's callback); the parent
+    #: replays them as ``progress(event, count=n, ...)`` after the pool
+    #: drains.  ``None`` on backends where progress fired live.
+    event_counts: Optional[Dict[str, int]] = None
 
 
 @dataclass(frozen=True)
@@ -153,18 +161,22 @@ class _WorkerContext:
     connection against the shared WAL store.
 
     ``progress`` is the per-site observation hook (see
-    :meth:`OpenWPMCrawler.crawl`).  It only fires on the serial and
-    thread backends: a forked child calling the parent's callback would
-    publish events into its own copy of the process, so the fork path
-    strips it (the service, which needs the events, runs its studies at
-    ``parallelism=1``).
+    :meth:`OpenWPMCrawler.crawl`).  It only fires *live* on the serial
+    and thread backends: a forked child calling the parent's callback
+    would publish events into its own copy of the process.  The fork
+    path therefore strips the callable and sets ``count_events``
+    instead — workers tally event counts locally, ship them back on the
+    :class:`CrawlOutcome`, and the parent replays the totals, so
+    ``repro crawl --stats`` reports the same counts at any parallelism.
     """
 
     universe: Universe
     vantage_points: VantagePointManager
     classifier: Optional[ATSClassifier] = None
     store_path: Optional[str] = None
+    baseline_path: Optional[str] = None
     progress: Optional[Callable[..., None]] = None
+    count_events: bool = False
 
 
 #: Set by the parent immediately before spawning a fork-based pool so
@@ -172,36 +184,59 @@ class _WorkerContext:
 _FORK_CONTEXT: Optional[_WorkerContext] = None
 
 
-def _crawl_spec_log(context: _WorkerContext, spec: CrawlSpec) -> CrawlLog:
+def _crawl_spec_log(context: _WorkerContext, spec: CrawlSpec,
+                    progress: Optional[Callable[..., None]]) -> CrawlLog:
     """Produce the spec's crawl log, through the store when one is set.
 
     With a store attached, fully stored crawls load without a browser,
     partially stored ones resume at the first missing site, and fresh
     ones checkpoint after every site — all yielding logs bit-identical
-    to a plain uninterrupted crawl.
+    to a plain uninterrupted crawl.  When a baseline store is attached
+    too, each crawl runs as a delta against the previous epoch's rows
+    (:mod:`repro.datastore.delta`).
     """
     vantage = context.vantage_points.point(spec.country)
     if context.store_path is not None:
         from ..datastore import CrawlStore, stored_crawl
 
         with CrawlStore(context.store_path) as store:
+            if context.baseline_path is not None:
+                with CrawlStore(context.baseline_path) as baseline:
+                    return stored_crawl(
+                        store, context.universe, vantage,
+                        spec.store_kind or f"openwpm:{spec.key}",
+                        list(spec.domains), epoch=spec.epoch,
+                        keep_html=spec.keep_html, baseline=baseline,
+                        progress=progress,
+                    )
             return stored_crawl(
                 store, context.universe, vantage,
                 spec.store_kind or f"openwpm:{spec.key}",
                 list(spec.domains), epoch=spec.epoch,
-                keep_html=spec.keep_html, progress=context.progress,
+                keep_html=spec.keep_html, progress=progress,
             )
     crawler = OpenWPMCrawler(context.universe, vantage, epoch=spec.epoch,
                              keep_html=spec.keep_html)
-    return crawler.crawl(list(spec.domains), progress=context.progress)
+    return crawler.crawl(list(spec.domains), progress=progress)
 
 
 def _execute_spec(context: _WorkerContext,
                   spec: CrawlSpec) -> Union[CrawlOutcome, _WorkerFailure]:
     """Run one crawl plus its requested analyses; never raises."""
     try:
-        log = _crawl_spec_log(context, spec)
-        outcome = CrawlOutcome(key=spec.key, country=spec.country, log=log)
+        progress = context.progress
+        counts: Optional[Counter] = None
+        if progress is None and context.count_events:
+            counts = Counter()
+
+            def progress(event: str, **fields) -> None:
+                counts[event] += 1
+
+        log = _crawl_spec_log(context, spec, progress)
+        outcome = CrawlOutcome(
+            key=spec.key, country=spec.country, log=log,
+            event_counts=dict(counts) if counts is not None else None,
+        )
         wants = set(spec.analyses)
         if wants & {ANALYSIS_LABELS, ANALYSIS_ATS, ANALYSIS_MALWARE}:
             outcome.labels = label_parties(
@@ -255,16 +290,21 @@ class CrawlExecutor:
         backend: Optional[str] = None,
         classifier: Optional[ATSClassifier] = None,
         store=None,
+        baseline=None,
         progress: Optional[Callable[..., None]] = None,
     ) -> None:
         """``store`` (a :class:`~repro.datastore.CrawlStore` or a path)
         makes every crawl persistent and resumable: workers record
         per-site completion and skip sites the store already holds.
+        ``baseline`` (same type) is a previous epoch's store; with both
+        set, workers splice unchanged sites from the baseline instead of
+        rendering them (:mod:`repro.datastore.delta`).
 
-        ``progress(event, **fields)`` observes site/run milestones on
-        the serial and thread backends; the process backend drops it
-        (events would fire in the forked children — see
-        :class:`_WorkerContext`).
+        ``progress(event, **fields)`` observes site/run milestones live
+        on the serial and thread backends; the process backend tallies
+        events in the workers and replays the per-crawl totals (with a
+        ``count=`` field) once the pool drains — see
+        :class:`_WorkerContext`.
         """
         if backend not in (None, "process", "thread", "serial"):
             raise ValueError(f"unknown backend: {backend!r}")
@@ -274,6 +314,7 @@ class CrawlExecutor:
         self.backend = backend
         self._classifier = classifier
         self.store_path = getattr(store, "path", store)
+        self.baseline_path = getattr(baseline, "path", baseline)
         self.progress = progress
 
     # ------------------------------------------------------------------
@@ -302,6 +343,7 @@ class CrawlExecutor:
             self._classifier = classifier
         return _WorkerContext(self.universe, self.vantage_points, classifier,
                               store_path=self.store_path,
+                              baseline_path=self.baseline_path,
                               progress=self.progress)
 
     # ------------------------------------------------------------------
@@ -339,6 +381,14 @@ class CrawlExecutor:
                 raise CrawlExecutionError(result.key, result.country,
                                           result.message,
                                           result.worker_traceback)
+        if self.progress is not None:
+            # Forked workers counted events locally; replay the totals so
+            # observers see the same tallies as a serial run would emit.
+            for result in results:
+                if result.event_counts:
+                    for event, count in sorted(result.event_counts.items()):
+                        self.progress(event, count=count, key=result.key,
+                                      country=result.country)
         return results
 
     def _run_forked(
@@ -347,9 +397,10 @@ class CrawlExecutor:
         global _FORK_CONTEXT
         mp_context = multiprocessing.get_context("fork")
         # Per-site progress callbacks would fire inside the children;
-        # strip them so observers never see phantom events (documented
-        # on _WorkerContext).
-        _FORK_CONTEXT = replace(context, progress=None)
+        # strip the callable but keep counting, so the parent can replay
+        # per-crawl event totals (documented on _WorkerContext).
+        _FORK_CONTEXT = replace(context, progress=None,
+                                count_events=context.progress is not None)
         try:
             with ProcessPoolExecutor(max_workers=workers,
                                      mp_context=mp_context) as pool:

@@ -34,6 +34,25 @@ class OpenWPMCrawler:
         self.client: ClientContext = client_for(vantage, epoch=epoch)
         self.keep_html = keep_html
 
+    def browser_for(self, log: Optional[CrawlLog] = None) -> Browser:
+        """The session browser :meth:`crawl` drives, for callers that
+        interleave real visits with other work (the delta-crawl layer
+        splices stored sites between visits of changed ones)."""
+        return Browser(self.universe, self.client, log=log,
+                       keep_html=self.keep_html)
+
+    def visit_site(self, browser: Browser, domain: str,
+                   checkpoint: Optional[Callable[
+                       [str, CrawlLog, Tuple[int, int, int, int]], None
+                   ]] = None) -> None:
+        """One landing-page visit plus its checkpoint/trim handling."""
+        log = browser.log
+        marks = (len(log.visits), len(log.requests),
+                 len(log.cookies), len(log.js_calls))
+        browser.visit(domain)
+        if checkpoint is not None and checkpoint(domain, log, marks):
+            log.clear_events()
+
     def crawl(self, domains: Iterable[str],
               *, log: Optional[CrawlLog] = None,
               checkpoint: Optional[Callable[
@@ -63,8 +82,7 @@ class OpenWPMCrawler:
         raised from a ``site_finished`` callback (the service's
         cooperative cancellation) can never tear a site's stored slice.
         """
-        browser = Browser(self.universe, self.client, log=log,
-                          keep_html=self.keep_html)
+        browser = self.browser_for(log)
         log = browser.log
         domains = list(domains)
         country = self.vantage.country_code
@@ -72,11 +90,7 @@ class OpenWPMCrawler:
             if progress is not None:
                 progress("site_started", country=country, domain=domain,
                          index=index, total=len(domains))
-            marks = (len(log.visits), len(log.requests),
-                     len(log.cookies), len(log.js_calls))
-            browser.visit(domain)
-            if checkpoint is not None and checkpoint(domain, log, marks):
-                log.clear_events()
+            self.visit_site(browser, domain, checkpoint)
             if progress is not None:
                 progress("site_finished", country=country, domain=domain,
                          index=index, total=len(domains))

@@ -7,6 +7,7 @@ the reproduction the same shape.  :class:`CrawlStore` is the store,
 :func:`run_key` the content-hash run identity.
 """
 
+from .delta import DeltaSource, SiteSlice, delta_crawl
 from .schema import SCHEMA_VERSION, SchemaError
 from .serialize import config_from_json, config_to_json, domains_hash, run_key
 from .shards import reshard_store
@@ -16,6 +17,7 @@ from .store import (
     RunManifest,
     RunRef,
     RunState,
+    RunWriter,
     ShardInfo,
     StoredLogView,
     shard_of_domain,
@@ -26,12 +28,16 @@ __all__ = [
     "SCHEMA_VERSION",
     "SchemaError",
     "CrawlStore",
+    "DeltaSource",
     "MissingRunError",
     "RunManifest",
     "RunRef",
     "RunState",
+    "RunWriter",
     "ShardInfo",
+    "SiteSlice",
     "StoredLogView",
+    "delta_crawl",
     "config_from_json",
     "config_to_json",
     "domains_hash",

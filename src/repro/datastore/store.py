@@ -43,6 +43,17 @@ The same property is why *trim mode* works: a checkpointer built with
 each site is on disk (positions continue from persistent counters), so
 crawl RSS is bounded by one site's events regardless of corpus size.
 
+It is also the purity contract behind **delta crawls**
+(:mod:`repro.datastore.delta`): since a site's event slice is a pure
+function of (universe content, client context), a slice stored for a
+*previous epoch* can be spliced verbatim into a new run whenever the
+site's content hash is unchanged — only the global ``seq`` values and
+row positions are rewritten to the new run's counters.  The splice path
+(:meth:`RunWriter.splice`) shares its position counters and timer with
+the live-checkpoint path, so a run that mixes spliced and freshly
+crawled sites lays out rows exactly as an uninterrupted full crawl
+would.
+
 Concurrency: worker processes and threads each open their own
 :class:`CrawlStore` on the same path; WAL plus a busy timeout serializes
 writers, and every checkpoint is one short transaction.  Cursor reads
@@ -95,6 +106,7 @@ __all__ = [
     "RunManifest",
     "RunRef",
     "RunState",
+    "RunWriter",
     "ShardInfo",
     "StoredLogView",
     "shard_of_domain",
@@ -102,6 +114,14 @@ __all__ = [
 ]
 
 SHARD_FILE_FORMAT = "shard-{index:04d}.sqlite"
+
+#: Event-table name -> serialized column list, for the raw-row readers.
+_EVENT_COLUMNS = {
+    "visits": VISIT_COLUMNS,
+    "requests": REQUEST_COLUMNS,
+    "cookies": COOKIE_COLUMNS,
+    "js_calls": JSCALL_COLUMNS,
+}
 
 
 def shard_of_domain(domain: str, shard_count: int) -> int:
@@ -493,6 +513,10 @@ class CrawlStore:
             return None
         return self._run_state(key, dh, domains)
 
+    def run_writer(self, run: RunId, *, trim: bool = False) -> "RunWriter":
+        """The per-site writer for one run (checkpoints and splices)."""
+        return RunWriter(self, run, trim=trim)
+
     def checkpointer(self, run: RunId, *, trim: bool = False) -> Callable:
         """A per-site checkpoint callback for ``OpenWPMCrawler.crawl``.
 
@@ -504,71 +528,72 @@ class CrawlStore:
         resume) or dropped after every site (``trim=True``; the returned
         callback's value tells the crawler to clear its event lists).
         """
-        handles = self._resolve(run)
-        site_shard: Dict[str, Tuple[int, int, int]] = {}
+        return self.run_writer(run, trim=trim).checkpoint
+
+    def run_site_counts(
+        self, run: RunId
+    ) -> List[Tuple[int, str, int, int, int, int]]:
+        """``(position, domain, completed, requests, cookies, js_calls)``
+        for every site of a run, fanned in across shards and sorted by
+        global position.  The delta-crawl layer prefix-sums these counts
+        to locate each completed site's event-row slice.
+        """
+        rows: List[Tuple[int, str, int, int, int, int]] = []
         with self._lock:
-            for index, local_id in handles:
-                for domain, position in self._conn(index).execute(
-                    "SELECT domain, position FROM run_sites WHERE run_id=?",
+            for index, local_id in self._resolve(run):
+                rows.extend(self._conn(index).execute(
+                    "SELECT position, domain, completed, requests, cookies,"
+                    " js_calls FROM run_sites WHERE run_id=?",
                     (local_id,),
-                ):
-                    site_shard[domain] = (index, local_id, position)
-        counters = {
-            table: self._count_rows(handles, table)
-            for table in ("visits", "requests", "cookies", "js_calls")
-        }
-        last = time.perf_counter()
+                ))
+        rows.sort()
+        return rows
 
-        def checkpoint(domain: str, log: CrawlLog,
-                       marks: Tuple[int, int, int, int]) -> bool:
-            nonlocal last
-            now = time.perf_counter()
-            site_elapsed, last = now - last, now
-            v0, r0, c0, j0 = marks
-            index, local_id, position = site_shard[domain]
-            vp, rp = counters["visits"], counters["requests"]
-            cp, jp = counters["cookies"], counters["js_calls"]
-            with self._txn(index) as conn:
-                conn.executemany(
-                    "INSERT INTO visits VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    [(local_id, vp + i) + visit_to_row(v)
-                     for i, v in enumerate(log.visits[v0:])],
-                )
-                conn.executemany(
-                    "INSERT INTO requests VALUES"
-                    " (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    [(local_id, rp + i) + request_to_row(r)
-                     for i, r in enumerate(log.requests[r0:])],
-                )
-                conn.executemany(
-                    "INSERT INTO cookies VALUES"
-                    " (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    [(local_id, cp + i) + cookie_to_row(c)
-                     for i, c in enumerate(log.cookies[c0:])],
-                )
-                conn.executemany(
-                    "INSERT INTO js_calls VALUES (?, ?, ?, ?, ?, ?)",
-                    [(local_id, jp + i) + jscall_to_row(c)
-                     for i, c in enumerate(log.js_calls[j0:])],
-                )
-                conn.execute(
-                    "UPDATE run_sites SET completed=1, elapsed=?, requests=?,"
-                    " cookies=?, js_calls=? WHERE run_id=? AND position=?",
-                    (site_elapsed, len(log.requests) - r0,
-                     len(log.cookies) - c0, len(log.js_calls) - j0,
-                     local_id, position),
-                )
-                conn.execute(
-                    "UPDATE runs SET seq=?, elapsed=elapsed+? WHERE id=?",
-                    (log._seq, site_elapsed, local_id),
-                )
-            counters["visits"] = vp + len(log.visits) - v0
-            counters["requests"] = rp + len(log.requests) - r0
-            counters["cookies"] = cp + len(log.cookies) - c0
-            counters["js_calls"] = jp + len(log.js_calls) - j0
-            return trim
+    def site_event_rows(self, run: RunId, domain: str, table: str,
+                        lo: int, hi: int) -> List[tuple]:
+        """Raw serialized rows ``[lo, hi)`` of one event table.
 
-        return checkpoint
+        Rows come back exactly as stored (without the run_id/position
+        prefix) so a splice can re-insert them into another run verbatim
+        — decoding and re-encoding would only risk drift.  All of a
+        site's rows live in its own shard, so this is one range scan.
+        """
+        columns = _EVENT_COLUMNS.get(table)
+        if columns is None:
+            raise ValueError(f"unknown event table {table!r}")
+        index = shard_of_domain(domain, self.shard_count)
+        local_id = self._local_id(run, index)
+        if local_id is None:
+            raise MissingRunError(f"no run {run} in shard {index}")
+        with self._lock:
+            return self._conn(index).execute(
+                f"SELECT {', '.join(columns)} FROM {table}"
+                " WHERE run_id=? AND position>=? AND position<?"
+                " ORDER BY position",
+                (local_id, lo, hi),
+            ).fetchall()
+
+    def event_rows_in_range(self, run: RunId, table: str,
+                            lo: int, hi: int) -> List[tuple]:
+        """``(position, *columns)`` rows in ``[lo, hi)``, across shards.
+
+        The delta layer reads a contiguous splice group in one ranged
+        scan per table instead of four queries per site; the leading
+        position lets the caller partition rows back to their sites.
+        """
+        columns = _EVENT_COLUMNS.get(table)
+        if columns is None:
+            raise ValueError(f"unknown event table {table!r}")
+        rows: List[tuple] = []
+        with self._lock:
+            for index, local_id in self._resolve(run):
+                rows.extend(self._conn(index).execute(
+                    f"SELECT position, {', '.join(columns)} FROM {table}"
+                    " WHERE run_id=? AND position>=? AND position<?",
+                    (local_id, lo, hi),
+                ))
+        rows.sort(key=lambda row: row[0])
+        return rows
 
     def finish_run(self, run: RunId,
                    stats: Optional[Dict] = None) -> None:
@@ -722,7 +747,10 @@ class CrawlStore:
 
         Sharded stores fan per-shard manifest rows back into one row per
         logical run (counts summed, ``finished`` only when every shard
-        is stamped).
+        is stamped).  Per-table tallies are ``COUNT(*)`` index-range
+        counts — never Python-side cursor iteration — so ``repro store
+        info -v`` stays milliseconds on stores holding millions of
+        event rows.
         """
         query = """
             SELECT r.id, r.run_key, r.kind, r.country_code, r.client_ip,
@@ -815,6 +843,222 @@ class CrawlStore:
         return bytes(row[0]) if row else None
 
 
+class RunWriter:
+    """Per-site writer for one run: live checkpoints and delta splices.
+
+    Both paths share the same position counters and wall-clock timer, so
+    a run that mixes spliced slices with real visits lays out rows (and
+    accumulates elapsed time) exactly as an uninterrupted full crawl
+    would.  :meth:`checkpoint` is the callback handed to
+    ``OpenWPMCrawler`` (see :meth:`CrawlStore.checkpointer`);
+    :meth:`splice` is the delta-crawl fast path that re-inserts a prior
+    run's raw rows without rendering the site
+    (:func:`repro.datastore.delta.delta_crawl`).
+    """
+
+    def __init__(self, store: CrawlStore, run: RunId, *,
+                 trim: bool = False) -> None:
+        self._store = store
+        self._trim = trim
+        handles = store._resolve(run)
+        self._site_shard: Dict[str, Tuple[int, int, int]] = {}
+        with store._lock:
+            for index, local_id in handles:
+                for domain, position in store._conn(index).execute(
+                    "SELECT domain, position FROM run_sites WHERE run_id=?",
+                    (local_id,),
+                ):
+                    self._site_shard[domain] = (index, local_id, position)
+        self._counters = {
+            table: store._count_rows(handles, table)
+            for table in ("visits", "requests", "cookies", "js_calls")
+        }
+        self._last = time.perf_counter()
+
+    def checkpoint(self, domain: str, log: CrawlLog,
+                   marks: Tuple[int, int, int, int]) -> bool:
+        """Persist one freshly visited site's event rows (see
+        :meth:`CrawlStore.checkpointer`)."""
+        now = time.perf_counter()
+        site_elapsed, self._last = now - self._last, now
+        v0, r0, c0, j0 = marks
+        index, local_id, position = self._site_shard[domain]
+        counters = self._counters
+        vp, rp = counters["visits"], counters["requests"]
+        cp, jp = counters["cookies"], counters["js_calls"]
+        with self._store._txn(index) as conn:
+            conn.executemany(
+                "INSERT INTO visits VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [(local_id, vp + i) + visit_to_row(v)
+                 for i, v in enumerate(log.visits[v0:])],
+            )
+            conn.executemany(
+                "INSERT INTO requests VALUES"
+                " (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [(local_id, rp + i) + request_to_row(r)
+                 for i, r in enumerate(log.requests[r0:])],
+            )
+            conn.executemany(
+                "INSERT INTO cookies VALUES"
+                " (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [(local_id, cp + i) + cookie_to_row(c)
+                 for i, c in enumerate(log.cookies[c0:])],
+            )
+            conn.executemany(
+                "INSERT INTO js_calls VALUES (?, ?, ?, ?, ?, ?)",
+                [(local_id, jp + i) + jscall_to_row(c)
+                 for i, c in enumerate(log.js_calls[j0:])],
+            )
+            conn.execute(
+                "UPDATE run_sites SET completed=1, elapsed=?, requests=?,"
+                " cookies=?, js_calls=? WHERE run_id=? AND position=?",
+                (site_elapsed, len(log.requests) - r0,
+                 len(log.cookies) - c0, len(log.js_calls) - j0,
+                 local_id, position),
+            )
+            conn.execute(
+                "UPDATE runs SET seq=?, elapsed=elapsed+? WHERE id=?",
+                (log._seq, site_elapsed, local_id),
+            )
+        counters["visits"] = vp + len(log.visits) - v0
+        counters["requests"] = rp + len(log.requests) - r0
+        counters["cookies"] = cp + len(log.cookies) - c0
+        counters["js_calls"] = jp + len(log.js_calls) - j0
+        return self._trim
+
+    def _insert_spliced(self, conn: sqlite3.Connection, local_id: int,
+                        position: int, rows: Dict[str, List[tuple]],
+                        site_elapsed: float) -> None:
+        """Insert one site's raw rows inside an open transaction."""
+        counters = self._counters
+        vp, rp = counters["visits"], counters["requests"]
+        cp, jp = counters["cookies"], counters["js_calls"]
+        conn.executemany(
+            "INSERT INTO visits VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [(local_id, vp + i) + tuple(row)
+             for i, row in enumerate(rows["visits"])],
+        )
+        conn.executemany(
+            "INSERT INTO requests VALUES"
+            " (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [(local_id, rp + i) + tuple(row)
+             for i, row in enumerate(rows["requests"])],
+        )
+        conn.executemany(
+            "INSERT INTO cookies VALUES"
+            " (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [(local_id, cp + i) + tuple(row)
+             for i, row in enumerate(rows["cookies"])],
+        )
+        conn.executemany(
+            "INSERT INTO js_calls VALUES (?, ?, ?, ?, ?, ?)",
+            [(local_id, jp + i) + tuple(row)
+             for i, row in enumerate(rows["js_calls"])],
+        )
+        conn.execute(
+            "UPDATE run_sites SET completed=1, elapsed=?, requests=?,"
+            " cookies=?, js_calls=? WHERE run_id=? AND position=?",
+            (site_elapsed, len(rows["requests"]), len(rows["cookies"]),
+             len(rows["js_calls"]), local_id, position),
+        )
+        counters["visits"] = vp + len(rows["visits"])
+        counters["requests"] = rp + len(rows["requests"])
+        counters["cookies"] = cp + len(rows["cookies"])
+        counters["js_calls"] = jp + len(rows["js_calls"])
+
+    def splice(self, domain: str, rows: Dict[str, List[tuple]], *,
+               seq_end: int) -> None:
+        """Insert one site's pre-rewritten raw rows without a visit.
+
+        ``rows`` maps each event table to serialized tuples exactly as
+        :meth:`CrawlStore.site_event_rows` returned them, with ``seq``
+        columns already rebased to this run's counter.  Positions are
+        assigned from the shared counters, so the spliced site lands in
+        the store byte-identically to a real visit.
+        """
+        now = time.perf_counter()
+        site_elapsed, self._last = now - self._last, now
+        index, local_id, position = self._site_shard[domain]
+        with self._store._txn(index) as conn:
+            self._insert_spliced(conn, local_id, position, rows,
+                                 site_elapsed)
+            conn.execute(
+                "UPDATE runs SET seq=?, elapsed=elapsed+? WHERE id=?",
+                (seq_end, site_elapsed, local_id),
+            )
+
+    def splice_many(self,
+                    items: List[Tuple[str, Dict[str, List[tuple]], int]],
+                    ) -> None:
+        """Splice a contiguous group of ``(domain, rows, seq_end)`` sites.
+
+        On a single-file store the whole group commits in one
+        transaction — per-site commit overhead is the dominant splice
+        cost, and coarsening crash granularity is safe because spliced
+        sites are nearly free to redo on resume.  On a sharded store
+        each site still commits alone: a site's rows and completion flag
+        must land atomically in its own shard, and committing shards
+        independently could tear the completed *prefix* that global row
+        positions rely on.
+        """
+        if not items:
+            return
+        if self._store.shard_count > 1:
+            for domain, rows, seq_end in items:
+                self.splice(domain, rows, seq_end=seq_end)
+            return
+        now = time.perf_counter()
+        batch_elapsed, self._last = now - self._last, now
+        site_elapsed = batch_elapsed / len(items)
+        counters = self._counters
+        inserts: Dict[str, List[tuple]] = {
+            "visits": [], "requests": [], "cookies": [], "js_calls": [],
+        }
+        site_updates: List[tuple] = []
+        local_id = None
+        for domain, rows, _ in items:
+            _, local_id, position = self._site_shard[domain]
+            for table, batch in inserts.items():
+                base = counters[table]
+                batch.extend(
+                    (local_id, base + i) + tuple(row)
+                    for i, row in enumerate(rows[table])
+                )
+                counters[table] = base + len(rows[table])
+            site_updates.append((
+                site_elapsed, len(rows["requests"]), len(rows["cookies"]),
+                len(rows["js_calls"]), local_id, position,
+            ))
+        with self._store._txn(0) as conn:
+            conn.executemany(
+                "INSERT INTO visits VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                inserts["visits"],
+            )
+            conn.executemany(
+                "INSERT INTO requests VALUES"
+                " (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                inserts["requests"],
+            )
+            conn.executemany(
+                "INSERT INTO cookies VALUES"
+                " (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                inserts["cookies"],
+            )
+            conn.executemany(
+                "INSERT INTO js_calls VALUES (?, ?, ?, ?, ?, ?)",
+                inserts["js_calls"],
+            )
+            conn.executemany(
+                "UPDATE run_sites SET completed=1, elapsed=?, requests=?,"
+                " cookies=?, js_calls=? WHERE run_id=? AND position=?",
+                site_updates,
+            )
+            conn.execute(
+                "UPDATE runs SET seq=?, elapsed=elapsed+? WHERE id=?",
+                (items[-1][2], batch_elapsed, local_id),
+            )
+
+
 class StoredLogView:
     """A read-only, re-iterable view of one stored run.
 
@@ -904,6 +1148,7 @@ def stored_crawl(
     keep_html: bool = True,
     allow_crawl: bool = True,
     hydrate: bool = True,
+    baseline: Optional["CrawlStore"] = None,
     progress=None,
 ) -> Optional[CrawlLog]:
     """Load, resume, or run one crawl through the store.
@@ -921,6 +1166,14 @@ def stored_crawl(
     disk) and the function returns ``None`` — consumers read the rows
     back through the store's cursors.  Peak memory is then bounded by
     one site's events instead of the whole run.
+
+    ``baseline`` turns the crawl into a **delta crawl**: when the
+    baseline store holds the matching run for a *previous universe
+    epoch*, sites whose content hash is unchanged are spliced from the
+    baseline's stored rows instead of being rendered
+    (:mod:`repro.datastore.delta`).  The result is byte-identical to a
+    full crawl by construction; when preconditions fail the delta layer
+    degrades to a normal crawl.
 
     ``progress(event, **fields)`` observes the crawl: ``run_started``
     fires once up front (with ``completed`` telling how many sites the
@@ -969,19 +1222,35 @@ def stored_crawl(
             partial._seq = state.seq
         fetch_before = _cache_snapshot(universe.fetch_cache.stats)
         parse_before = _cache_snapshot(parse_cache_stats())
-        crawler = OpenWPMCrawler(universe, vantage, epoch=epoch,
-                                 keep_html=keep_html)
-        log = crawler.crawl(
-            remaining, log=partial,
-            checkpoint=store.checkpointer(state.run_id, trim=not hydrate),
-            progress=progress,
-        )
-        store.finish_run(state.run_id, stats={
+        delta_stats = None
+        log = None
+        if baseline is not None:
+            from .delta import delta_crawl
+            outcome = delta_crawl(
+                store, universe, vantage, kind, domains, state, baseline,
+                partial, epoch=epoch, keep_html=keep_html, hydrate=hydrate,
+                progress=progress,
+            )
+            if outcome is not None:
+                log, delta_stats = outcome
+        if delta_stats is None:
+            crawler = OpenWPMCrawler(universe, vantage, epoch=epoch,
+                                     keep_html=keep_html)
+            log = crawler.crawl(
+                remaining, log=partial,
+                checkpoint=store.checkpointer(state.run_id,
+                                              trim=not hydrate),
+                progress=progress,
+            )
+        stats = {
             "fetch_cache": _cache_delta(universe.fetch_cache.stats,
                                         fetch_before),
             "parse_cache": _cache_delta(parse_cache_stats(), parse_before),
             "resumed_from_site": len(state.completed),
-        })
+        }
+        if delta_stats is not None:
+            stats["delta"] = delta_stats
+        store.finish_run(state.run_id, stats=stats)
         if progress is not None:
             progress("run_finished", kind=kind,
                      country=vantage.country_code, total=len(domains))

@@ -53,6 +53,16 @@ class WhoisRegistry:
         self._records[base] = record
         return record
 
+    def clone(self) -> "WhoisRegistry":
+        """An independent registry with the same records (fresh counters).
+
+        Epoch evolution copies site records verbatim instead of re-deriving
+        them — the original derivation consumes order-sensitive RNG draws.
+        """
+        copy = WhoisRegistry()
+        copy._records = dict(self._records)
+        return copy
+
     def lookup(self, domain: str) -> Optional[WhoisRecord]:
         """The record for a domain's registrable base, if registered."""
         self._queries += 1

@@ -17,6 +17,7 @@ from .sections import (
     report_sections,
     section_names,
 )
+from .trends import trend_report, trend_sections
 from .tables import (
     format_table,
     render_shard_table,
@@ -54,4 +55,6 @@ __all__ = [
     "render_table6",
     "render_table7",
     "render_table8",
+    "trend_report",
+    "trend_sections",
 ]

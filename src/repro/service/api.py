@@ -132,7 +132,8 @@ class ServiceAPI:
             raise ApiError(400, f"invalid JSON body: {exc}") from None
         if not isinstance(raw, dict):
             raise ApiError(400, "body must be a JSON object")
-        known = {"seed", "scale", "countries", "geo", "analyses"}
+        known = {"seed", "scale", "countries", "geo", "analyses",
+                 "epoch", "churn", "delta"}
         unknown = set(raw) - known
         if unknown:
             raise ApiError(400, f"unknown fields: {sorted(unknown)}")
@@ -143,6 +144,9 @@ class ServiceAPI:
                 countries=tuple(raw.get("countries") or ()),
                 geo=bool(raw.get("geo", False)),
                 analyses=tuple(raw.get("analyses") or ()),
+                epoch=int(raw.get("epoch", JobSpec.epoch)),
+                churn=float(raw.get("churn", JobSpec.churn)),
+                delta=bool(raw.get("delta", False)),
             )
         except (TypeError, ValueError) as exc:
             raise ApiError(400, str(exc)) from None
@@ -162,7 +166,11 @@ class ServiceAPI:
         stored = self.store.stored_config()
         if stored is None:
             return
-        requested = UniverseConfig(seed=spec.seed, scale=spec.scale)
+        # Epoch jobs land in sibling stores, but they still evolve from
+        # this store's universe, so the epoch-0 identity (seed, scale,
+        # churn) must agree for the chain to be coherent.
+        requested = UniverseConfig(seed=spec.seed, scale=spec.scale,
+                                   churn=spec.churn)
         if config_to_json(requested) != config_to_json(stored):
             raise ApiError(409, (
                 f"store {self.store.path} is pinned to seed={stored.seed} "

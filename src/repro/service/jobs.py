@@ -47,6 +47,7 @@ __all__ = [
     "JobManager",
     "JobSpec",
     "JobState",
+    "epoch_store_path",
 ]
 
 
@@ -97,6 +98,15 @@ class JobSpec:
     (ignored unless ``geo``); an empty ``analyses`` tuple means the full
     study task list — exactly what ``repro study --store`` evaluates, so
     a default job leaves the store able to serve every table.
+
+    ``epoch`` > 0 measures the universe evolved that many epochs past
+    the seed one; the run lands in a sibling store (see
+    :func:`epoch_store_path`) so the main store stays pinned to one
+    universe.  ``delta`` (requires ``epoch`` > 0) splices
+    provably-unchanged sites out of the previous epoch's store instead
+    of re-rendering them; if that store is absent the job falls back to
+    a full crawl.  ``churn`` is the per-epoch fraction of sites whose
+    content changes.
     """
 
     seed: int = 20191021
@@ -104,17 +114,26 @@ class JobSpec:
     countries: Tuple[str, ...] = ()
     geo: bool = False
     analyses: Tuple[str, ...] = ()
+    epoch: int = 0
+    churn: float = 0.1
+    delta: bool = False
 
     def __post_init__(self) -> None:
         unknown = set(self.analyses) - set(ANALYSIS_NAMES)
         if unknown:
             raise ValueError(f"unknown analyses: {sorted(unknown)}")
+        if self.epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {self.epoch}")
+        if self.delta and self.epoch < 1:
+            raise ValueError("delta requires epoch >= 1 (there is no "
+                             "prior epoch to splice from)")
 
     def to_json(self) -> str:
         return json.dumps({
             "seed": self.seed, "scale": self.scale,
             "countries": list(self.countries), "geo": self.geo,
             "analyses": list(self.analyses),
+            "epoch": self.epoch, "churn": self.churn, "delta": self.delta,
         }, sort_keys=True)
 
     @classmethod
@@ -125,6 +144,9 @@ class JobSpec:
             countries=tuple(raw.get("countries") or ()),
             geo=bool(raw.get("geo", False)),
             analyses=tuple(raw.get("analyses") or ()),
+            epoch=int(raw.get("epoch", 0)),
+            churn=float(raw.get("churn", 0.1)),
+            delta=bool(raw.get("delta", False)),
         )
 
 
@@ -153,6 +175,18 @@ class Job:
             "finished_at": self.finished_at,
             "events": len(self.events),
         }
+
+
+def epoch_store_path(store_path: str, epoch: int) -> str:
+    """Sibling store for an evolved epoch: ``<store>-e<N>``.
+
+    One store holds one universe, and every epoch is a distinct
+    universe, so epoch jobs write next to the main store instead of
+    into it.  Epoch 0 is the main store itself.
+    """
+    if epoch <= 0:
+        return store_path
+    return f"{store_path}-e{epoch}"
 
 
 def journal_path(store_path: str) -> str:
@@ -249,10 +283,21 @@ def execute_job(job: Job, store_path: str, *,
                 and job.cancel_requested.is_set():
             raise JobCancelled(job.id)
 
-    config = UniverseConfig(seed=spec.seed, scale=spec.scale)
-    study = Study(build_universe(config, lazy=True), store=store_path,
+    config = UniverseConfig(seed=spec.seed, scale=spec.scale,
+                            epoch=spec.epoch, churn=spec.churn)
+    target_path = epoch_store_path(store_path, spec.epoch)
+    baseline = None
+    if spec.delta:
+        candidate = epoch_store_path(store_path, spec.epoch - 1)
+        if os.path.exists(candidate):
+            baseline = candidate
+        else:
+            # Graceful degradation, surfaced on the event stream: the
+            # job still runs, it just pays for a full crawl.
+            publish("delta_baseline_missing", {"path": candidate})
+    study = Study(build_universe(config, lazy=True), store=target_path,
                   store_shards=store_shards, parallelism=1,
-                  progress=progress)
+                  baseline_store=baseline, progress=progress)
     tasks = study._analysis_tasks(geo=spec.geo,
                                   countries=spec.countries or None)
     if spec.analyses:

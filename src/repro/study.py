@@ -86,6 +86,7 @@ class Study:
         store: Optional[object] = None,
         store_only: bool = False,
         store_shards: Optional[int] = None,
+        baseline_store: Optional[object] = None,
         progress: Optional[Callable[..., None]] = None,
     ) -> None:
         """``parallelism`` bounds how many independent crawls run at once
@@ -105,14 +106,25 @@ class Study:
         :class:`~repro.datastore.MissingRunError` instead of touching a
         browser.
 
+        ``baseline_store`` (a :class:`~repro.datastore.CrawlStore` or a
+        path) enables delta crawls against a prior epoch's store: sites
+        whose served content is provably unchanged splice their stored
+        event slices instead of re-rendering (see
+        :func:`~repro.datastore.delta_crawl`).  Results are
+        byte-identical to a full crawl by construction; the baseline is
+        only ever read.
+
         ``progress(event, **fields)`` observes every crawl the study
         runs (``run_started``/``site_started``/``site_finished``/
         ``run_finished`` — the hook the CLI ``--stats`` line and the
         measurement service's event streams are built on).  Per-site
         events fire inline for sequential crawls and on the thread
-        backend; the fork backend drops them (see
-        :class:`~repro.crawler.executor.CrawlExecutor`), so event-driven
-        consumers should run with ``parallelism=1``.
+        backend; the fork backend tallies them in each worker and
+        replays the merged counts after the run as
+        ``progress(event, count=N, key=..., country=...)`` (see
+        :class:`~repro.crawler.executor.CrawlExecutor`), so counting
+        consumers like ``--stats`` work at any parallelism while
+        streaming consumers should run with ``parallelism=1``.
         """
         self.universe = universe
         self.vantage_points = vantage_points or VantagePointManager()
@@ -123,6 +135,10 @@ class Study:
             store = CrawlStore(str(store), shards=store_shards)
         self.store = store
         self.store_only = store_only
+        if isinstance(baseline_store, (str, Path)):
+            from .datastore import CrawlStore
+            baseline_store = CrawlStore(str(baseline_store))
+        self.baseline_store = baseline_store
         self.progress = progress
         if store_only and store is None:
             raise ValueError("store_only=True requires a store")
@@ -215,6 +231,7 @@ class Study:
             self.store, self.universe, self.vantage_points.point(country),
             kind, domains, keep_html=keep_html,
             allow_crawl=not self.store_only,
+            baseline=self.baseline_store,
             progress=self.progress,
         )
 
@@ -326,6 +343,7 @@ class Study:
             parallelism=self.parallelism,
             classifier=self._cache.get("ats_classifier"),
             store=self.store,
+            baseline=self.baseline_store,
             progress=self.progress,
         )
 

@@ -1293,9 +1293,24 @@ def build_universe(
     ``lazy=True`` keeps site specs as packed rows decoded on access —
     bit-identical to the eager universe (asserted by the parity tests)
     but O(routing tables + hot LRU) resident instead of O(corpus).
+
+    ``config.epoch > 0`` builds the epoch-0 universe first, then applies
+    that many deterministic evolution steps
+    (:func:`repro.webgen.evolve.evolve_universe`), so any epoch is
+    reachable from the configuration alone — which is what lets a stored
+    epoch's universe be reconstructed for delta-crawl hash comparison.
     """
-    builder = _Builder(config or UniverseConfig())
+    from .evolve import evolve_universe
+
+    config = config or UniverseConfig()
+    epoch = config.epoch
+    if epoch:
+        config = dataclasses.replace(config, epoch=0)
+    builder = _Builder(config)
     builder.build_porn_sites()
     builder.build_services()
     builder.build_regular_sites()
-    return builder.finalize(lazy=lazy, fetch_cache_size=fetch_cache_size)
+    universe = builder.finalize(lazy=lazy, fetch_cache_size=fetch_cache_size)
+    for _ in range(epoch):
+        universe = evolve_universe(universe, fetch_cache_size=fetch_cache_size)
+    return universe

@@ -219,12 +219,23 @@ class UniverseConfig:
 
     ``scale`` shrinks every corpus count proportionally (1.0 = paper scale,
     6,843 porn sites).  Tests use small scales; benchmarks use 1.0.
+
+    ``epoch`` selects a snapshot of the *evolving* ecosystem: epoch 0 is
+    the classic single-snapshot universe, and every higher epoch is
+    derived deterministically from the previous one by
+    :func:`repro.webgen.evolve.evolve_universe` (trackers born, dying and
+    consolidating; sites migrating to HTTPS; consent banners spreading;
+    a ``churn`` fraction of sites changing content).  The epoch is part
+    of the datastore run key, so each epoch's crawls pin their own store.
     """
 
     seed: int = 20191021            # IMC'19 started October 21, 2019
     scale: float = 1.0
     targets: CalibrationTargets = field(default_factory=CalibrationTargets)
     rank_days: int = 365
+    epoch: int = 0
+    #: Fraction of sites whose page content changes per evolution step.
+    churn: float = 0.1
 
     def scaled(self, count: int, *, minimum: int = 1) -> int:
         """Scale an absolute corpus count, keeping at least ``minimum``."""

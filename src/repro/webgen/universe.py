@@ -136,6 +136,17 @@ def _fraction(*parts) -> float:
 class Universe:
     """The assembled synthetic web (server side + data sources)."""
 
+    #: Does serving ever read *request cookies*?  ``fetch`` keys its memo on
+    #: ``(url, referrer, country, client_ip, epoch)`` and every handler below
+    #: derives cookie values server-side (``token_for``), so the answer for
+    #: this class is ``False`` — the cookie-relevant projection of the jar is
+    #: empty and a stored visit slice is reusable whenever its content hash
+    #: and vantage match (see ``repro.datastore.delta``).  A subclass that
+    #: makes responses depend on the jar must flip this flag; delta crawls
+    #: then stop splicing at the first jar divergence instead of assuming
+    #: slice purity.
+    jar_sensitive = False
+
     def __init__(
         self,
         config: UniverseConfig,
@@ -174,6 +185,11 @@ class Universe:
         self._policy_texts = policy_texts
         self.full_list_site = full_list_site
         self.whois = whois if whois is not None else WhoisRegistry()
+        #: Evolution lineage: base epoch -> frozenset of site domains whose
+        #: *content* changed between that epoch and this universe's.
+        #: Populated by ``evolve_universe`` (epoch-0 universes have no
+        #: lineage); ``changed_domains_since`` is the accessor.
+        self.content_changed_since: Dict[int, frozenset] = {}
 
         self.geoip = GeoIPDatabase()
         self.dns = DNSResolver()
@@ -197,6 +213,18 @@ class Universe:
     #: Hosting countries for the synthetic servers (weights approximate the
     #: adult-hosting market: US and Dutch datacenters dominate).
     _HOSTING = ("US", "US", "US", "NL", "NL", "DE", "SG")
+
+    def changed_domains_since(self, epoch: int) -> Optional[frozenset]:
+        """Sites whose content changed since ``epoch``, if lineage is known.
+
+        ``None`` means this universe was not derived from that epoch by
+        an in-process evolution chain, and the caller must fall back to
+        content-hash comparison (``repro.webgen.evolve``).  When a set is
+        returned it is a proven *superset* of the hash-differing sites —
+        evolution only alters serve-relevant state through the site-spec
+        overlays it records — so splicing everything outside it is safe.
+        """
+        return self.content_changed_since.get(epoch)
 
     def _hosting_country(self, domain: str) -> str:
         if domain.endswith(".ru"):

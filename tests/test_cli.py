@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import re
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -68,6 +70,20 @@ class TestCommands:
                      "--sites", "4", "--stats"]) == 0
         out = capsys.readouterr().out
         assert "progress events: 4 sites started, 4 finished" in out
+
+    def test_crawl_since_stats_reports_spliced_sites(self, tmp_path,
+                                                     capsys):
+        e0 = str(tmp_path / "e0.db")
+        assert main(["crawl", "--scale", "0.02", "--seed", "3",
+                     "--sites", "6", "--store", e0]) == 0
+        capsys.readouterr()
+        e1 = str(tmp_path / "e1.db")
+        assert main(["crawl", "--scale", "0.02", "--seed", "3",
+                     "--sites", "6", "--epoch", "1", "--churn", "0.05",
+                     "--store", e1, "--since", e0, "--stats"]) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"(\d+) spliced", out)
+        assert match and int(match.group(1)) > 0
 
 
 class TestProcessConventions:

@@ -107,6 +107,53 @@ class TestExecutorFailures:
             CrawlSpec(key="x", country="ES", domains=(), analyses=("nope",))
 
 
+class TestForkProgressTallies:
+    def test_fork_backend_replays_event_counts(self, universe,
+                                               vantage_points,
+                                               crawlable_porn):
+        """The process backend can't stream per-site callbacks out of its
+        children; it must count them locally and replay the merged
+        tallies as ``progress(event, count=N, ...)`` — previously the
+        events were silently dropped and ``--stats`` read all zeros."""
+        from collections import Counter
+
+        domains = tuple(crawlable_porn[:4])
+        replayed = []
+        executor = CrawlExecutor(
+            universe, vantage_points, parallelism=2, backend="process",
+            progress=lambda event, **fields: replayed.append((event,
+                                                              fields)))
+        specs = [CrawlSpec(key=f"porn:{c}", country=c, domains=domains)
+                 for c in ("ES", "US")]
+        outcomes = executor.run(specs)
+        for outcome in outcomes:
+            assert outcome.event_counts["site_started"] == len(domains)
+            assert outcome.event_counts["site_finished"] == len(domains)
+        totals = Counter()
+        for event, fields in replayed:
+            totals[event] += fields.get("count", 1)
+        assert totals["site_started"] == 2 * len(domains)
+        assert totals["site_finished"] == 2 * len(domains)
+        # Replayed events say which crawl they came from.
+        assert {f["key"] for e, f in replayed if e == "site_finished"} == \
+            {"porn:ES", "porn:US"}
+
+    def test_serial_backend_fires_progress_live(self, universe,
+                                                vantage_points,
+                                                crawlable_porn):
+        domains = tuple(crawlable_porn[:3])
+        seen = []
+        executor = CrawlExecutor(
+            universe, vantage_points, parallelism=1,
+            progress=lambda event, **fields: seen.append((event, fields)))
+        executor.run([CrawlSpec(key="porn:ES", country="ES",
+                                domains=domains)])
+        finished = [f for e, f in seen if e == "site_finished"]
+        assert len(finished) == len(domains)  # one live event per site
+        assert all("count" not in f for f in finished)
+        assert [f["domain"] for f in finished] == list(domains)
+
+
 class TestSerialFallback:
     def test_parallelism_one_uses_serial_backend(self, universe,
                                                  vantage_points):

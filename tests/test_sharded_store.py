@@ -179,6 +179,62 @@ class TestKilledAndResumed:
         assert analyze_cookies(view) == analyze_cookies(hydrated)
 
 
+class TestCursorEdgeCases:
+    """Heap-merge paths that are only hit incidentally elsewhere: runs
+    that leave whole shards empty, shard files lost on disk, and
+    resharding a store that holds no runs at all."""
+
+    def test_empty_shards_merge_cleanly(self, sharded, universe,
+                                        vantage_points, crawlable_porn):
+        # Crawl only the domains that route to shard 0, so shards 1..N-1
+        # hold the run manifest but zero event rows; the merge must not
+        # choke on (or reorder around) exhausted streams.
+        subset = [d for d in crawlable_porn
+                  if shard_of_domain(d, SHARDS) == 0]
+        assert subset and len(subset) < len(crawlable_porn)
+        vantage = vantage_points.point("ES")
+        log = stored_crawl(sharded, universe, vantage, "openwpm:porn",
+                           subset)
+        run_id = sharded.run_manifests()[0].run_id
+        for index in range(1, SHARDS):
+            conn = sharded._conn(index)
+            assert conn.execute("SELECT COUNT(*) FROM visits").fetchone() \
+                == (0,)
+        assert list(sharded.iter_visits(run_id)) == log.visits
+        assert list(sharded.iter_requests(run_id)) == log.requests
+        assert list(sharded.iter_cookies(run_id)) == log.cookies
+        assert list(sharded.iter_js_calls(run_id)) == log.js_calls
+        # batch=1 forces a fetchmany window per row, the worst case for
+        # interleaving live streams with exhausted ones.
+        assert list(sharded.iter_requests(run_id, batch=1)) == log.requests
+        assert sharded.count_events(run_id, "requests") == len(log.requests)
+
+    def test_missing_shard_file_fails_fast(self, tmp_path, universe,
+                                           vantage_points, crawlable_porn):
+        import os
+
+        path = str(tmp_path / "lossy")
+        with CrawlStore(path, shards=SHARDS) as store:
+            stored_crawl(store, universe, vantage_points.point("ES"),
+                         "openwpm:porn", crawlable_porn)
+        os.remove(os.path.join(path, "shard-0001.sqlite"))
+        # The survivors' stamps disagree with the inferred shard count,
+        # so the open fails loudly instead of silently merging a subset.
+        with pytest.raises(ValueError, match="stamped"):
+            CrawlStore(path)
+
+    def test_reshard_empty_v1_store(self, tmp_path):
+        src = str(tmp_path / "empty.db")
+        CrawlStore(src).close()
+        dst = str(tmp_path / "empty-sharded")
+        created = reshard_store(src, dst, shards=SHARDS)
+        assert len(created) == SHARDS
+        with CrawlStore(dst) as store:
+            assert store.shard_count == SHARDS
+            assert store.run_manifests() == []
+            assert store.stored_config() is None
+
+
 class TestReshard:
     def _seeded_v1(self, tmp_path, universe, vantage_points, crawlable_porn):
         path = str(tmp_path / "flat.db")
