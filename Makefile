@@ -3,7 +3,7 @@ SCALE ?= 0.2
 export PYTHONPATH := src
 
 .PHONY: test bench bench-quick profile store-check parallel-check \
-	scale-check serve-check delta-check
+	scale-check serve-check delta-check incremental-check
 
 ## Run the tier-1 test suite.
 test:
@@ -22,7 +22,7 @@ bench-quick:
 		--parallelism-set 1 --output BENCH_quick.json
 	$(PYTHON) -c "import json; \
 	d = json.load(open('BENCH_quick.json')); \
-	assert d['schema'] == 'bench-pipeline/v6', d['schema']; \
+	assert d['schema'] == 'bench-pipeline/v7', d['schema']; \
 	stages = d['runs'][0]['stages']; \
 	wanted = ('analysis:table2', 'analysis:geography', 'analysis:banners', \
 	          'analysis:owners', 'analysis:policies', 'analysis:all'); \
@@ -39,11 +39,17 @@ bench-quick:
 	assert delta['stores_identical'] is True, delta; \
 	assert delta['spliced'] > 0, delta; \
 	assert delta['speedup'] and delta['speedup'] > 1.0, delta; \
-	print('bench-quick: schema v6, analysis:* stages present,', \
+	incr = d['incremental_analysis']; \
+	assert incr['tables_identical'] is True, incr; \
+	assert incr['hits'] > 0 and incr['misses'] > 0, incr; \
+	assert incr['speedup'] and incr['speedup'] > 1.0, incr; \
+	print('bench-quick: schema v7, analysis:* stages present,', \
 	      'streaming tables match reference,', \
 	      'service block recorded,', \
 	      'delta store byte-identical at', \
-	      str(delta['speedup']) + 'x')"
+	      str(delta['speedup']) + 'x,', \
+	      'incremental analysis byte-identical at', \
+	      str(incr['speedup']) + 'x')"
 
 ## Memory-flatness gate: run the streaming probe (lazy universe, sharded
 ## store, trim-mode crawl, cursor analyses) at two scales and fail if the
@@ -98,6 +104,14 @@ serve-check:
 ## REPRO_DELTA_CHECK_SCALE / _CHURN / _SPEEDUP.
 delta-check:
 	$(PYTHON) benchmarks/delta_check.py
+
+## Incremental-analysis gate (used by CI): warm the map/merge aggregate
+## cache on the seed epoch, delta-crawl one evolved epoch (~5% churn),
+## then render every section incrementally and monolithically and require
+## byte-identical output, a hit-dominated epoch pass, and a >= 3x
+## speedup.  Tune with REPRO_INCREMENTAL_CHECK_SCALE / _CHURN / _SPEEDUP.
+incremental-check:
+	$(PYTHON) benchmarks/incremental_check.py
 
 ## Profile one sequential pipeline run and print the top-20 functions by
 ## total own time.

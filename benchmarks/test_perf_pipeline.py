@@ -44,6 +44,22 @@ spliced fraction, the delta-vs-full speedup, and where the cookie-jar
 digest first diverged.  Probe scale via ``REPRO_PERF_DELTA_SCALE``
 (default 0.1).
 
+Schema v7 adds the ``incremental_analysis`` block and real pool-mode
+analysis timings.  The block is a fresh-subprocess probe: crawl the seed
+epoch, render every section through the map/merge aggregate cache (the
+cold pass persists one partial per site per analysis), delta-crawl one
+evolved epoch (``REPRO_PERF_DELTA_CHURN``), then render the epoch-1
+sections twice — **incremental first** (so the full pass inherits any
+warm OS caches and the reported speedup is conservative), then the
+monolithic reference — and record the cache hit/miss split, both wall
+times, the speedup, and whether every rendered section is
+byte-identical.  Pool-mode runs (``parallelism > 1``) additionally
+replace the ``analysis:*`` stage readings — which after
+``prefetch_analyses`` were sub-millisecond memo reads — with the real
+per-analysis wall time each task spent inside the thread pool
+(``Study.analysis_timings``), and carry the full per-task breakdown
+under ``analysis_timings``.
+
 Schema v4 adds the memory axis.  Every run carries ``stage_rss_mb`` —
 the process RSS high-water mark sampled after each pipeline stage, so a
 stage that balloons memory is attributable — and the document gains a
@@ -80,7 +96,7 @@ import time
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_pipeline.json"
-SCHEMA = "bench-pipeline/v6"
+SCHEMA = "bench-pipeline/v7"
 DEFAULT_COUNTRIES = ("ES", "US", "UK", "RU", "IN", "SG")
 DEFAULT_MEM_SCALES = (0.05, 0.1)
 DEFAULT_SERVICE_SCALE = 0.02
@@ -416,6 +432,24 @@ def run_pipeline(scale: float, parallelism: int, countries=DEFAULT_COUNTRIES):
     stage_rss["analysis:all"] = _peak_rss_mb()
     analysis_docs = pages + len(policy_report.valid_policies)
 
+    analysis_timings = None
+    if parallelism > 1:
+        # After prefetch_analyses the stage readings above are memo
+        # hits (~1e-4 s).  Swap in the wall time each task actually
+        # spent inside the thread pool, recorded by the study itself.
+        analysis_timings = dict(study.analysis_timings)
+        pool_stages = {
+            "analysis:table2": ("table2",),
+            "analysis:geography": ("geography",),
+            "analysis:banners": ("banners:ES", "banners:US"),
+            "analysis:owners": ("owners",),
+        }
+        for stage, names in pool_stages.items():
+            measured = [analysis_timings[name] for name in names
+                        if name in analysis_timings]
+            if measured:
+                stages[stage] = sum(measured)
+
     similarity = _time_similarity_references(study)
     banner_detection = _time_banner_reference(study, countries)
     party_labeling = _time_partylabel_reference(study, countries)
@@ -456,6 +490,11 @@ def run_pipeline(scale: float, parallelism: int, countries=DEFAULT_COUNTRIES):
             and name != "analysis:all"
         ), 4),
     }
+    if analysis_timings is not None:
+        run["analysis_timings"] = {
+            name: round(seconds, 4)
+            for name, seconds in sorted(analysis_timings.items())
+        }
     if parallelism > cpu_count:
         run["parallelism_exceeds_cpus"] = True
         run["note"] = (
@@ -676,6 +715,176 @@ def run_delta_probe(scale: float, *, churn: float = DELTA_PROBE_CHURN,
 
 
 # --------------------------------------------------------------------------
+# Incremental-analysis probe: map/merge aggregate cache vs. monolithic.
+# --------------------------------------------------------------------------
+
+#: Sections renderable from a single-vantage porn(ES) + regular crawl —
+#: every table/figure the incremental engine feeds (Tables 1/7/8 need
+#: the inspection pass or extra vantage points the probe doesn't run).
+INCREMENTAL_SECTIONS = ("corpus", "table2", "table3", "figure3", "table4",
+                        "figure4", "table5", "table6", "malware")
+
+
+def run_incremental_probe(scale: float, *, churn: float = DELTA_PROBE_CHURN,
+                          store_dir=None) -> dict:
+    """The ``incremental_analysis`` block: cached map/merge vs. monolithic.
+
+    Crawls the seed epoch, renders every supported section through the
+    aggregate cache (the cold pass maps each site once and persists the
+    partials), delta-crawls one evolved epoch, then renders the epoch-1
+    sections both ways — **incremental first**, so the monolithic
+    reference that follows inherits any warm OS page caches and the
+    reported speedup is conservative — and byte-compares every section.
+    Each side is timed as min-of-2 (the epoch pass is repeatable because
+    the pre-pass cache file is snapshotted and restored between runs),
+    with the standing heap frozen before every timed render; both keep
+    scheduler and collector noise from deciding the ratio.  Only churned
+    sites should miss on the epoch-1 pass; everything else is merged
+    from epoch-0 partials.
+    """
+    import tempfile
+
+    from repro import Study, UniverseConfig
+    from repro.datastore import CrawlStore, aggregates_path, stored_crawl
+    from repro.reporting import render_section
+    from repro.webgen.builder import build_universe
+
+    clock = time.perf_counter
+    store_dir = store_dir or tempfile.mkdtemp(prefix="repro-incr-probe-")
+
+    def crawl_both(store, universe, domains, regular, vantage,
+                   baseline=None):
+        stored_crawl(store, universe, vantage, Study._PORN_KIND, domains,
+                     hydrate=False, baseline=baseline)
+        stored_crawl(store, universe, vantage, Study._REGULAR_KIND, regular,
+                     keep_html=False, hydrate=False, baseline=baseline)
+
+    def render_all(study, config):
+        return {name: render_section(study, config.scale, name)
+                for name in INCREMENTAL_SECTIONS}
+
+    base_config = UniverseConfig(scale=scale, churn=churn)
+    base_universe = build_universe(base_config, lazy=True)
+    base_study = Study(base_universe, parallelism=1)
+    domains = base_study.corpus_domains()
+    regular = base_universe.reference_regular_corpus()
+    vantage = base_study.vantage_points.point(base_study.home_country)
+
+    # Epoch 0: crawl, then warm the aggregate cache (the cold pass).
+    base_path = os.path.join(store_dir, "epoch0")
+    base_store = CrawlStore(base_path)
+    crawl_both(base_store, base_universe, domains, regular, vantage)
+
+    def settle_heap():
+        # Each timed pass allocates against whatever standing heap the
+        # earlier phases left behind, and a full collection scans all of
+        # it — so the *later* a pass runs, the more collector time it
+        # pays for the same work.  Freezing the standing heap first
+        # makes every pass's GC share proportional to its own
+        # allocations, which is the thing being compared.
+        import gc
+
+        gc.collect()
+        gc.freeze()
+
+    warm_study = Study(build_universe(base_config, lazy=True),
+                      store=base_store, store_only=True,
+                      aggregate_cache=True)
+    settle_heap()
+    start = clock()
+    render_all(warm_study, base_config)
+    warm_seconds = clock() - start
+    cold_stats = warm_study.aggregate_cache.stats.as_dict()
+
+    # Epoch 1: delta crawl.  The ``-e1`` suffix routes the epoch store
+    # to the *base* store's cache file, exactly as epoch jobs do.
+    evolved_config = UniverseConfig(scale=scale, churn=churn, epoch=1)
+    epoch_path = base_path + "-e1"
+    epoch_store = CrawlStore(epoch_path)
+    crawl_both(epoch_store, build_universe(evolved_config, lazy=True),
+               domains, regular, vantage, baseline=base_store)
+    assert aggregates_path(epoch_path) == aggregates_path(base_path)
+
+    # The epoch pass mutates the cache (it persists the churned sites'
+    # fresh partials under brand-new content hashes — pure inserts), so
+    # it can be repeated exactly by deleting the rows it added: record
+    # the pre-pass rowid high-water mark, render, roll back past it,
+    # render again.  min-of-2 defends both sides of the ratio against
+    # scheduler noise equally.
+    import sqlite3 as _sqlite3
+
+    cache_path = aggregates_path(epoch_path)
+
+    def _cache_high_water() -> int:
+        with _sqlite3.connect(cache_path) as conn:
+            row = conn.execute(
+                "SELECT COALESCE(MAX(rowid), 0) FROM analysis_aggregates"
+            ).fetchone()
+        return row[0]
+
+    def _cache_rollback(high_water: int) -> None:
+        with _sqlite3.connect(cache_path) as conn:
+            conn.execute(
+                "DELETE FROM analysis_aggregates WHERE rowid > ?",
+                (high_water,),
+            )
+
+    high_water = _cache_high_water()
+    incremental_study = Study(build_universe(evolved_config, lazy=True),
+                              store=epoch_store, store_only=True,
+                              aggregate_cache=True)
+    settle_heap()
+    start = clock()
+    incremental_sections = render_all(incremental_study, evolved_config)
+    incremental_seconds = clock() - start
+    epoch_stats = incremental_study.aggregate_cache.stats.as_dict()
+
+    incremental_study.aggregate_cache.close()
+    _cache_rollback(high_water)
+    repeat_study = Study(build_universe(evolved_config, lazy=True),
+                         store=epoch_store, store_only=True,
+                         aggregate_cache=True)
+    settle_heap()
+    start = clock()
+    repeat_sections = render_all(repeat_study, evolved_config)
+    incremental_seconds = min(incremental_seconds, clock() - start)
+    assert repeat_sections == incremental_sections
+    assert repeat_study.aggregate_cache.stats.as_dict() == epoch_stats
+
+    full_seconds = None
+    for _ in range(2):
+        full_study = Study(build_universe(evolved_config, lazy=True),
+                           store=epoch_store, store_only=True)
+        settle_heap()
+        start = clock()
+        full_sections = render_all(full_study, evolved_config)
+        elapsed = clock() - start
+        full_seconds = elapsed if full_seconds is None \
+            else min(full_seconds, elapsed)
+
+    cache = repeat_study.aggregate_cache
+    return {
+        "scale": scale,
+        "churn": churn,
+        "corpus_size": len(domains),
+        "sections": list(INCREMENTAL_SECTIONS),
+        "cold": cold_stats,
+        "epoch": epoch_stats,
+        "hits": epoch_stats["hits"],
+        "misses": epoch_stats["misses"],
+        "cached_rows": cache.row_count(),
+        "cached_bytes": cache.total_bytes(),
+        "warm_seconds": round(warm_seconds, 4),
+        "incremental_seconds": round(incremental_seconds, 4),
+        "full_seconds": round(full_seconds, 4),
+        "speedup": round(full_seconds / incremental_seconds, 2)
+        if incremental_seconds else None,
+        "tables_identical": incremental_sections == full_sections,
+        "peak_rss_mb": _peak_rss_mb(),
+    }
+
+
+# --------------------------------------------------------------------------
 # Service probe: the measurement service under streaming load, in-process.
 # --------------------------------------------------------------------------
 
@@ -876,6 +1085,10 @@ def run_benchmark(scale: float, parallelism_set=(1, 4),
             ["--scale", str(delta_scale), "--delta-probe"],
             f"delta-probe scale={delta_scale}",
         ),
+        "incremental_analysis": _run_child(
+            ["--scale", str(delta_scale), "--incremental-probe"],
+            f"incremental-probe scale={delta_scale}",
+        ),
     }
     baseline = next((r for r in runs if r["parallelism"] == 1), None)
     if baseline is not None:
@@ -973,6 +1186,20 @@ def test_perf_pipeline():
     assert delta["spliced"] > 0 and delta["crawled"] > 0
     assert 0.5 < delta["spliced_fraction"] < 1.0
     assert delta["speedup"] is not None and delta["speedup"] > 1.0
+    incremental = document["incremental_analysis"]
+    assert incremental["tables_identical"] is True
+    assert incremental["hits"] > 0          # unchanged sites merged cached
+    assert incremental["misses"] > 0        # churned sites re-mapped
+    assert incremental["misses"] < incremental["hits"]
+    assert incremental["cached_rows"] > 0
+    assert incremental["speedup"] is not None and incremental["speedup"] > 1.0
+    parallel_run = next((r for r in document["runs"]
+                         if r["parallelism"] > 1), None)
+    if parallel_run is not None:
+        timings = parallel_run["analysis_timings"]
+        assert "table2" in timings and "cookie_stats" in timings
+        # Real pool wall time, not a memo read.
+        assert max(timings.values()) > 0.001
     print(json.dumps(document, indent=2))
 
 
@@ -1001,6 +1228,12 @@ def main() -> None:
                              "one epoch, then time a delta crawl against "
                              "a full re-crawl at --scale and verify "
                              "byte-identical stores")
+    parser.add_argument("--incremental-probe", action="store_true",
+                        help="child mode: warm the map/merge aggregate "
+                             "cache on the seed epoch, delta-crawl one "
+                             "evolved epoch, then time incremental vs. "
+                             "monolithic analysis at --scale and verify "
+                             "byte-identical sections")
     parser.add_argument("--memory-scales", default=None,
                         help="orchestrator mode: comma-separated probe "
                              "scales (default REPRO_PERF_MEM_SCALES or "
@@ -1023,6 +1256,13 @@ def main() -> None:
         # ``make delta-check`` pins the store dir so it can re-render
         # tables from the probe's epoch-1 stores after the probe exits.
         child = run_delta_probe(
+            args.scale, churn=_delta_churn(),
+            store_dir=os.environ.get("REPRO_PERF_DELTA_STORE_DIR"),
+        )
+    elif args.incremental_probe:
+        # ``make incremental-check`` pins the store dir so it can
+        # re-render sections from the probe's stores after it exits.
+        child = run_incremental_probe(
             args.scale, churn=_delta_churn(),
             store_dir=os.environ.get("REPRO_PERF_DELTA_STORE_DIR"),
         )

@@ -70,6 +70,11 @@ def _add_store(parser: argparse.ArgumentParser) -> None:
                              "splice their stored slices instead of "
                              "re-rendering (results byte-identical to a "
                              "full crawl)")
+    parser.add_argument("--incremental", action="store_true",
+                        help="cache per-site analysis partials next to the "
+                             "store and reuse them across epochs: only "
+                             "churned sites are re-analyzed, tables stay "
+                             "byte-identical to a full recompute")
 
 
 def _build_study(args: argparse.Namespace) -> Study:
@@ -78,10 +83,15 @@ def _build_study(args: argparse.Namespace) -> Study:
     config = UniverseConfig(seed=args.seed, scale=args.scale,
                             epoch=getattr(args, "epoch", 0),
                             churn=getattr(args, "churn", 0.1))
+    incremental = bool(getattr(args, "incremental", False))
+    if incremental and getattr(args, "store", None) is None:
+        raise SystemExit("error: --incremental requires --store "
+                         "(the partial cache lives next to the store)")
     return Study(build_universe(config, lazy=True),
                  store=getattr(args, "store", None),
                  store_shards=getattr(args, "store_shards", None),
                  baseline_store=getattr(args, "since", None),
+                 aggregate_cache=incremental or None,
                  parallelism=getattr(args, "parallelism", None))
 
 
@@ -220,7 +230,8 @@ def cmd_report(args: argparse.Namespace) -> int:
     # analyses' lookup tables; crawl data streams from the store and no
     # browser session is ever started.
     study = Study(build_universe(config, lazy=True), store=store,
-                  store_only=True)
+                  store_only=True,
+                  aggregate_cache=args.incremental or None)
     try:
         _render_study(study, config.scale, args.geo)
     except MissingRunError as exc:
@@ -230,11 +241,23 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_trend(args: argparse.Namespace) -> int:
-    from .datastore import CrawlStore, MissingRunError
+    from .datastore import (
+        AggregateStore,
+        CrawlStore,
+        MissingRunError,
+        aggregates_path,
+    )
     from .reporting import trend_report
     from .webgen.builder import build_universe
 
+    # One shared partial cache for the whole series: every epoch store of
+    # a longitudinal run resolves to the same base cache file (the -eN
+    # suffix is stripped), so spliced sites analyzed at epoch N are cache
+    # hits at every later epoch.
+    cache = (AggregateStore(aggregates_path(args.stores[0]))
+             if args.incremental else None)
     studies = []
+    stores = []
     for path in args.stores:
         store = CrawlStore(path)
         config = store.stored_config()
@@ -242,10 +265,11 @@ def cmd_trend(args: argparse.Namespace) -> int:
             print(f"error: {path} holds no runs; populate it with "
                   "`repro study --store` first", file=sys.stderr)
             return 1
+        stores.append((path, config.epoch, store))
         studies.append(
             (config.epoch,
              Study(build_universe(config, lazy=True), store=store,
-                   store_only=True))
+                   store_only=True, aggregate_cache=cache))
         )
     epochs = [epoch for epoch, _ in studies]
     if len(set(epochs)) != len(epochs):
@@ -258,6 +282,19 @@ def cmd_trend(args: argparse.Namespace) -> int:
     except MissingRunError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if args.stats:
+        # Each epoch store is opened once and scanned per *analysis*
+        # (never per rendered section); the counters prove it.
+        print()
+        for path, epoch, store in sorted(stores, key=lambda item: item[1]):
+            counts = store.io_stats
+            print(f"epoch {epoch} ({path}): {counts['opens']} connection "
+                  f"opens, {counts['scans']} event scans")
+        if cache is not None:
+            stats = cache.stats
+            print(f"aggregate cache: {stats.hits} hits / "
+                  f"{stats.misses} misses over {len(stores)} epochs "
+                  f"({cache.row_count()} rows)")
     return 0
 
 
@@ -311,7 +348,38 @@ def cmd_store_info(args: argparse.Namespace) -> int:
                       f"{counters['evictions']} evictions)")
             if "resumed_from_site" in stats and stats["resumed_from_site"]:
                 print(f"    resumed from site {stats['resumed_from_site']}")
+    if args.verbose:
+        _print_aggregate_info(store)
     return 0
+
+
+def _print_aggregate_info(store) -> None:
+    """The aggregate-cache block of ``repro store info -v``."""
+    import os
+
+    from .datastore import AggregateStore, aggregates_path
+
+    path = aggregates_path(store.path)
+    if not os.path.exists(path):
+        return
+    cache = AggregateStore(path)
+    try:
+        rows = cache.row_count()
+        per_analysis = cache.per_analysis_rows()
+        listing = ", ".join(f"{name}: {count}"
+                            for name, count in sorted(per_analysis.items()))
+        print(f"\naggregate cache: {path}")
+        print(f"    {rows} partials ({cache.total_bytes()} payload bytes)"
+              + (f" — {listing}" if listing else ""))
+        last = cache.last_study_stats()
+        if last:
+            lookups = last["hits"] + last["misses"]
+            rate = last["hits"] / lookups if lookups else 0.0
+            print(f"    last study: {last['hits']} hits / "
+                  f"{last['misses']} misses ({rate:.0%} hit rate, "
+                  f"{last.get('corrupt', 0)} corrupt)")
+    finally:
+        cache.close()
 
 
 def cmd_store_reshard(args: argparse.Namespace) -> int:
@@ -415,6 +483,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="crawl datastore written by study/crawl --store")
     report.add_argument("--geo", action="store_true",
                         help="include the six-country Table 7")
+    report.add_argument("--incremental", action="store_true",
+                        help="serve per-site partials from the aggregate "
+                             "cache next to the store (byte-identical "
+                             "tables; only churned sites re-analyzed)")
     report.set_defaults(func=cmd_report)
 
     trend = subparsers.add_parser(
@@ -423,6 +495,13 @@ def build_parser() -> argparse.ArgumentParser:
     trend.add_argument("stores", metavar="STORE", nargs="+",
                        help="one crawl store per epoch (any order); each "
                             "written by `repro study --store --epoch N`")
+    trend.add_argument("--incremental", action="store_true",
+                       help="share one aggregate cache across the series: "
+                            "1 full analysis pass + (K-1) churn-sized "
+                            "passes instead of K full passes")
+    trend.add_argument("--stats", action="store_true",
+                       help="print per-epoch store open/scan counts (and "
+                            "cache hit rates under --incremental)")
     trend.set_defaults(func=cmd_trend)
 
     store = subparsers.add_parser("store", help="inspect a crawl datastore")

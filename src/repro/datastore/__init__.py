@@ -7,7 +7,9 @@ the reproduction the same shape.  :class:`CrawlStore` is the store,
 :func:`run_key` the content-hash run identity.
 """
 
+from .aggregates import AggregateCacheStats, AggregateStore, aggregates_path
 from .delta import DeltaSource, SiteSlice, delta_crawl
+from .incremental import IncrementalRunAnalyzer, cached_sanitize
 from .schema import SCHEMA_VERSION, SchemaError
 from .serialize import config_from_json, config_to_json, domains_hash, run_key
 from .shards import reshard_store
@@ -27,7 +29,12 @@ from .store import (
 __all__ = [
     "SCHEMA_VERSION",
     "SchemaError",
+    "AggregateCacheStats",
+    "AggregateStore",
+    "aggregates_path",
     "CrawlStore",
+    "IncrementalRunAnalyzer",
+    "cached_sanitize",
     "DeltaSource",
     "MissingRunError",
     "RunManifest",

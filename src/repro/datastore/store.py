@@ -223,6 +223,13 @@ class CrawlStore:
         self.path = str(path)
         self._timeout = timeout
         self._lock = threading.RLock()
+        #: Lifetime I/O counters for this handle: ``opens`` counts SQLite
+        #: connections established (shared facade + per-cursor read
+        #: connections), ``scans`` counts event-cursor range scans.  The
+        #: trend CLI prints these per epoch under ``--stats`` to prove
+        #: each store is opened once and scanned per analysis, not per
+        #: rendered section.
+        self.io_stats: Dict[str, int] = {"opens": 0, "scans": 0}
         creating = False
 
         if os.path.isdir(self.path):
@@ -297,6 +304,7 @@ class CrawlStore:
             return connection
 
     def _open(self, path: str) -> sqlite3.Connection:
+        self.io_stats["opens"] += 1
         connection = sqlite3.connect(
             path, timeout=self._timeout, check_same_thread=False,
             isolation_level=None,  # autocommit; transactions are explicit
@@ -313,6 +321,7 @@ class CrawlStore:
         writer connection; WAL lets them read while checkpoints commit.
         """
         self._conn(index)  # ensure the shard file exists with a schema
+        self.io_stats["opens"] += 1
         connection = sqlite3.connect(
             self._shard_paths[index], timeout=self._timeout,
             check_same_thread=False,
@@ -676,6 +685,7 @@ class CrawlStore:
         """
         if batch <= 0:
             raise ValueError("batch must be positive")
+        self.io_stats["scans"] += 1
         handles = self._resolve(run)
         select = (
             f"SELECT position, {', '.join(columns)} FROM {table}"

@@ -295,9 +295,16 @@ def execute_job(job: Job, store_path: str, *,
             # Graceful degradation, surfaced on the event stream: the
             # job still runs, it just pays for a full crawl.
             publish("delta_baseline_missing", {"path": candidate})
+    # Every epoch job shares the base store's aggregate cache
+    # (aggregate_cache=True resolves next to the store, and the -eN
+    # epoch suffix is stripped): full-epoch jobs warm it, delta-epoch
+    # jobs re-analyze only the churn.  Tables stay byte-identical
+    # whichever partials are served from the cache, so the service's
+    # served-vs-CLI identity checks keep holding.
     study = Study(build_universe(config, lazy=True), store=target_path,
                   store_shards=store_shards, parallelism=1,
-                  baseline_store=baseline, progress=progress)
+                  baseline_store=baseline, aggregate_cache=True,
+                  progress=progress)
     tasks = study._analysis_tasks(geo=spec.geo,
                                   countries=spec.countries or None)
     if spec.analyses:

@@ -16,6 +16,7 @@ Typical use::
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -50,6 +51,16 @@ from .core.fingerprinting import FingerprintingReport, analyze_fingerprinting
 from .core.geodiff import CountryObservation, GeoReport, analyze_geography
 from .core.https_analysis import HTTPSReport, analyze_https
 from .core.malware import MalwareReport, analyze_malware
+from .core.mapmerge import (
+    merge_ats,
+    merge_banners,
+    merge_cookies,
+    merge_fingerprinting,
+    merge_https,
+    merge_labels,
+    merge_malware,
+    merge_sync,
+)
 from .core.owners import OwnerReport, discover_owners
 from .core.partylabel import PartyLabels, label_parties
 from .core.popularity import PopularityReport, analyze_popularity
@@ -87,6 +98,7 @@ class Study:
         store_only: bool = False,
         store_shards: Optional[int] = None,
         baseline_store: Optional[object] = None,
+        aggregate_cache: Optional[object] = None,
         progress: Optional[Callable[..., None]] = None,
     ) -> None:
         """``parallelism`` bounds how many independent crawls run at once
@@ -125,6 +137,16 @@ class Study:
         :class:`~repro.crawler.executor.CrawlExecutor`), so counting
         consumers like ``--stats`` work at any parallelism while
         streaming consumers should run with ``parallelism=1``.
+
+        ``aggregate_cache`` (an
+        :class:`~repro.datastore.AggregateStore`, a path, or ``True``
+        for the store's default ``aggregates.sqlite`` sibling) turns on
+        incremental map/merge analysis: per-site partials are served
+        from the cache when the site's analysis content hash is
+        unchanged and recomputed from the stored rows when it churned,
+        producing byte-identical tables either way (see
+        :mod:`repro.datastore.incremental`).  Requires a complete stored
+        run; without a ``store`` the flag is rejected.
         """
         self.universe = universe
         self.vantage_points = vantage_points or VantagePointManager()
@@ -139,6 +161,23 @@ class Study:
             from .datastore import CrawlStore
             baseline_store = CrawlStore(str(baseline_store))
         self.baseline_store = baseline_store
+        if aggregate_cache:
+            from .datastore import AggregateStore, aggregates_path
+            if aggregate_cache is True:
+                if self.store is None:
+                    raise ValueError(
+                        "aggregate_cache=True requires a store to sit next to"
+                    )
+                aggregate_cache = AggregateStore(
+                    aggregates_path(self.store.path))
+            elif isinstance(aggregate_cache, (str, Path)):
+                aggregate_cache = AggregateStore(str(aggregate_cache))
+        self.aggregate_cache = aggregate_cache or None
+        #: Real per-analysis wall time, recorded by :meth:`run_all` /
+        #: :meth:`prefetch_analyses` around each task thunk (the memoized
+        #: accessors alone can't be timed from outside — under prefetch
+        #: the work happens in the pool and later reads are cache hits).
+        self.analysis_timings: Dict[str, float] = {}
         self.progress = progress
         if store_only and store is None:
             raise ValueError("store_only=True requires a store")
@@ -193,11 +232,24 @@ class Study:
     # ------------------------------------------------------------------
 
     def corpus(self) -> Tuple[CandidateSet, SanitizedCorpus]:
-        return self._memo(
-            "corpus",
-            lambda: build_corpus(self.universe,
-                                 self.vantage_points.point(self.home_country)),
-        )
+        def build() -> Tuple[CandidateSet, SanitizedCorpus]:
+            vantage = self.vantage_points.point(self.home_country)
+            if self.aggregate_cache is not None:
+                # Sanitize verdicts are per-candidate pure functions of
+                # served content: serve them from the aggregate cache
+                # and only re-visit candidates whose hash churned.
+                from .core.corpus import compile_candidates
+                from .datastore import cached_sanitize
+
+                candidates = compile_candidates(self.universe)
+                sanitized = cached_sanitize(
+                    self.universe, candidates.domains, vantage,
+                    self.aggregate_cache,
+                )
+                return candidates, sanitized
+            return build_corpus(self.universe, vantage)
+
+        return self._memo("corpus", build)
 
     def corpus_domains(self) -> List[str]:
         return self.corpus()[1].corpus
@@ -305,6 +357,12 @@ class Study:
         country = country or self.home_country
         if not self.store_only:
             return self.porn_log(country)
+        with self._cache_lock:
+            hydrated = self._cache.get(f"porn_log:{country}")
+        if hydrated is not None:
+            # Another analysis already paid for full hydration — reuse it
+            # rather than re-scanning the store.
+            return hydrated
         return self._memo(
             f"porn_view:{country}",
             lambda: self._stored_view(country, self._PORN_KIND,
@@ -506,7 +564,8 @@ class Study:
         self.prefetch_crawls(crawl_countries)
         tasks = self._analysis_tasks(geo=geo, countries=countries)
         with ThreadPoolExecutor(max_workers=self.parallelism) as pool:
-            futures = [pool.submit(thunk) for _, thunk in tasks]
+            futures = [pool.submit(self._timed_task(name, thunk))
+                       for name, thunk in tasks]
             for future in futures:
                 future.result()  # re-raise the first failure in task order
 
@@ -528,8 +587,28 @@ class Study:
         if self.parallelism > 1:
             self.prefetch_analyses(countries, geo=geo)
             return
-        for _, thunk in self._analysis_tasks(geo=geo, countries=countries):
-            thunk()
+        for name, thunk in self._analysis_tasks(geo=geo, countries=countries):
+            self._timed_task(name, thunk)()
+
+    def _timed_task(self, name: str, thunk: Callable[[], object]):
+        """Wrap a task thunk to record its real wall time.
+
+        The timing happens where the work happens — inside the prefetch
+        pool worker or the serial loop — so benchmark ``analysis:*``
+        stages can report true per-analysis cost instead of the
+        near-zero memo-hit reads they used to see at ``parallelism>1``.
+        The recorded time includes waits on shared-intermediate memo
+        locks (that wait *is* part of the task's wall time).
+        """
+
+        def run():
+            start = time.perf_counter()
+            try:
+                return thunk()
+            finally:
+                self.analysis_timings[name] = time.perf_counter() - start
+
+        return run
 
     def inspections(self) -> List[SiteInspection]:
         """Interaction-crawler pass over the whole corpus (home country).
@@ -573,24 +652,79 @@ class Study:
 
         return self._memo("inspections", inspect)
 
+    # -- incremental map/merge analysis ---------------------------------
+
+    def _incremental_engine(self, country: str, kind: str):
+        """The per-run map/merge engine (memoized per run)."""
+        from .datastore import IncrementalRunAnalyzer
+
+        def build():
+            if kind == self._PORN_KIND:
+                domains: Sequence[str] = self.corpus_domains()
+                keep_html = True
+            else:
+                domains = self.universe.reference_regular_corpus()
+                keep_html = False
+            return IncrementalRunAnalyzer(
+                self.store, self.universe, self.aggregate_cache,
+                vantage=self.vantage_points.point(country),
+                kind=kind, domains=domains, keep_html=keep_html,
+                classifier=self.ats_classifier(),
+                cert_lookup=self.universe.certificate_for,
+            )
+
+        return self._memo(f"incremental:{kind}:{country}", build)
+
+    def _incremental_partials(self, country: str, kind: str,
+                              names: Sequence[str]):
+        """Per-site partials for ``names``, or ``None`` to fall back.
+
+        ``None`` means incremental analysis is not configured (no
+        aggregate cache / no store) and the caller should run the
+        monolithic reference.  With a cache configured, the stored run
+        is completed first when crawling is allowed; in ``store_only``
+        mode a missing run raises :class:`~repro.datastore.
+        MissingRunError` exactly like the monolithic stored path.
+        """
+        if self.aggregate_cache is None or self.store is None:
+            return None
+        if not self.store_only:
+            # Route through the crawl memos so an absent run is crawled
+            # (and persisted) before the engine binds to it.
+            if kind == self._PORN_KIND:
+                self.porn_log(country)
+            else:
+                self.regular_log()
+        engine = self._incremental_engine(country, kind)
+        return engine.partials(names)
+
     # ------------------------------------------------------------------
     # Section 4.2: labeling, classification, attribution
     # ------------------------------------------------------------------
 
     def porn_labels(self, country: Optional[str] = None) -> PartyLabels:
         country = country or self.home_country
-        return self._memo(
-            f"porn_labels:{country}",
-            lambda: label_parties(self.porn_source(country),
-                                  cert_lookup=self.universe.certificate_for),
-        )
+
+        def build() -> PartyLabels:
+            partials = self._incremental_partials(
+                country, self._PORN_KIND, ("labels",))
+            if partials is not None:
+                return merge_labels(partials["labels"])
+            return label_parties(self.porn_source(country),
+                                 cert_lookup=self.universe.certificate_for)
+
+        return self._memo(f"porn_labels:{country}", build)
 
     def regular_labels(self) -> PartyLabels:
-        return self._memo(
-            "regular_labels",
-            lambda: label_parties(self.regular_source(),
-                                  cert_lookup=self.universe.certificate_for),
-        )
+        def build() -> PartyLabels:
+            partials = self._incremental_partials(
+                self.home_country, self._REGULAR_KIND, ("labels",))
+            if partials is not None:
+                return merge_labels(partials["labels"])
+            return label_parties(self.regular_source(),
+                                 cert_lookup=self.universe.certificate_for)
+
+        return self._memo("regular_labels", build)
 
     def ats_classifier(self) -> ATSClassifier:
         return self._memo(
@@ -601,22 +735,29 @@ class Study:
 
     def porn_ats(self, country: Optional[str] = None) -> ATSResult:
         country = country or self.home_country
-        return self._memo(
-            f"porn_ats:{country}",
-            lambda: self.ats_classifier().classify_log(
-                self.porn_source(country),
-                third_party_fqdns=self.porn_labels(country).all_third_party_fqdns,
-            ),
-        )
+
+        def build() -> ATSResult:
+            partials = self._incremental_partials(
+                country, self._PORN_KIND, ("ats",))
+            fqdns = self.porn_labels(country).all_third_party_fqdns
+            if partials is not None:
+                return merge_ats(partials["ats"], third_party_fqdns=fqdns)
+            return self.ats_classifier().classify_log(
+                self.porn_source(country), third_party_fqdns=fqdns)
+
+        return self._memo(f"porn_ats:{country}", build)
 
     def regular_ats(self) -> ATSResult:
-        return self._memo(
-            "regular_ats",
-            lambda: self.ats_classifier().classify_log(
-                self.regular_source(),
-                third_party_fqdns=self.regular_labels().all_third_party_fqdns,
-            ),
-        )
+        def build() -> ATSResult:
+            partials = self._incremental_partials(
+                self.home_country, self._REGULAR_KIND, ("ats",))
+            fqdns = self.regular_labels().all_third_party_fqdns
+            if partials is not None:
+                return merge_ats(partials["ats"], third_party_fqdns=fqdns)
+            return self.ats_classifier().classify_log(
+                self.regular_source(), third_party_fqdns=fqdns)
+
+        return self._memo("regular_ats", build)
 
     def porn_attribution(self) -> AttributionResult:
         return self._memo(
@@ -706,6 +847,12 @@ class Study:
             ats_bases = {
                 registrable_domain(f) for f in self.porn_ats().ats_fqdns
             } | self.porn_ats().ats_domains_relaxed
+            partials = self._incremental_partials(
+                self.home_country, self._PORN_KIND, ("cookies",))
+            if partials is not None:
+                return merge_cookies(partials["cookies"],
+                                     ats_domains=ats_bases,
+                                     regular_web_domains=regular_bases)
             return analyze_cookies(
                 self.porn_source(),
                 ats_domains=ats_bases,
@@ -715,37 +862,63 @@ class Study:
         return self._memo("cookie_stats", build)
 
     def cookie_sync(self) -> SyncReport:
-        return self._memo(
-            "cookie_sync", lambda: detect_cookie_sync(self.porn_log())
-        )
+        def build() -> SyncReport:
+            partials = self._incremental_partials(
+                self.home_country, self._PORN_KIND, ("sync",))
+            if partials is not None:
+                return merge_sync(partials["sync"])
+            # Iteration-only detector: the streaming view keeps a
+            # store-backed study from hydrating the whole log for it.
+            return detect_cookie_sync(self.porn_source())
+
+        return self._memo("cookie_sync", build)
 
     def fingerprinting(self) -> FingerprintingReport:
         def build() -> FingerprintingReport:
             classifier = self.ats_classifier()
+            blocklisted = classifier.matches_url
+            partials = self._incremental_partials(
+                self.home_country, self._PORN_KIND, ("jsapi",))
+            if partials is not None:
+                return merge_fingerprinting(partials["jsapi"],
+                                            url_blocklisted=blocklisted)
             return analyze_fingerprinting(
-                self.porn_log().js_calls,
-                url_blocklisted=lambda url: classifier.matches_url(url),
+                self.porn_source().js_calls,
+                url_blocklisted=blocklisted,
             )
 
         return self._memo("fingerprinting", build)
 
     def https_report(self) -> HTTPSReport:
-        return self._memo(
-            "https",
-            lambda: analyze_https(self.porn_source(), self.porn_labels(),
-                                  self.crawled_popularity()),
-        )
+        def build() -> HTTPSReport:
+            partials = self._incremental_partials(
+                self.home_country, self._PORN_KIND, ("https",))
+            if partials is not None:
+                return merge_https(partials["https"],
+                                   popularity=self.crawled_popularity())
+            return analyze_https(self.porn_source(), self.porn_labels(),
+                                 self.crawled_popularity())
+
+        return self._memo("https", build)
 
     def malware(self, country: Optional[str] = None) -> MalwareReport:
         country = country or self.home_country
-        return self._memo(
-            f"malware:{country}",
-            lambda: analyze_malware(
-                self.porn_log(country),
-                self.porn_labels(country),
-                lambda domain: self.universe.scanner_hits(domain, country),
-            ),
-        )
+
+        def build() -> MalwareReport:
+            labels = self.porn_labels(country)
+
+            def scanner(domain: str) -> int:
+                return self.universe.scanner_hits(domain, country)
+
+            partials = self._incremental_partials(
+                country, self._PORN_KIND, ("visits", "jsapi"))
+            if partials is not None:
+                return merge_malware(partials["visits"], partials["jsapi"],
+                                     labels=labels, scanner=scanner)
+            return analyze_malware(self.porn_source(country), labels,
+                                   scanner)
+
+        return self._memo(f"malware:{country}", build)
 
     # ------------------------------------------------------------------
     # Section 6: geography
@@ -783,6 +956,11 @@ class Study:
         country = country or self.home_country
 
         def build() -> BannerReport:
+            partials = self._incremental_partials(
+                country, self._PORN_KIND, ("banners",))
+            if partials is not None:
+                return merge_banners(partials["banners"],
+                                     corpus_size=len(self.corpus_domains()))
             # Routed through the shared crawl memo: geography and banner
             # analysis for the same country crawl exactly once (the
             # per-country logs keep HTML for the banner detector).

@@ -56,7 +56,13 @@ from .thirdparty import (
 )
 from .universe import Universe
 
-__all__ = ["evolve_universe", "ContentHashIndex", "site_content_hash"]
+__all__ = [
+    "evolve_universe",
+    "ContentHashIndex",
+    "site_content_hash",
+    "AnalysisHashIndex",
+    "analysis_hash_index",
+]
 
 #: Per-epoch probability that a non-HTTPS porn site migrates to HTTPS.
 HTTPS_MIGRATION_RATE = 0.02
@@ -274,6 +280,167 @@ class ContentHashIndex:
 def site_content_hash(universe: Universe, domain: str) -> Optional[str]:
     """One-off content hash (prefer :class:`ContentHashIndex` for many)."""
     return ContentHashIndex(universe).hash_of(domain)
+
+
+class AnalysisHashIndex(ContentHashIndex):
+    """Per-site hashes that also cover attribution-only service fields.
+
+    :class:`ContentHashIndex` deliberately excludes
+    ``ATTRIBUTION_ONLY_FIELDS`` — consolidation rewrites an absorbed
+    organization's ``cert_org`` without changing a single served byte,
+    so delta *crawls* may still splice those sites.  Analyses are a
+    different contract: party labeling reads certificate organizations
+    (``share_organization`` inside ``_is_first_party``), so a cached
+    per-site analysis partial keyed on the plain content hash could
+    survive a consolidation epoch and serve stale labels.  This index
+    folds the attribution fields of every service in the site's closure
+    back into the fingerprint, making the hash cover everything the
+    map/merge analyses can read for that site.
+
+    It also restructures the hash: an incremental study hashes *every*
+    site of the corpus on every pass (the lookup key), so the base
+    index's per-site BFS — which re-walks and re-hashes the same shared
+    service subgraphs for every site — is the dominant cost of a fully
+    warm pass.  Here each service's transitive sync-partner closure and
+    its 32-byte fingerprint digest are memoized once, and a site's hash
+    folds the *sorted union* of its root services' closures.  Order
+    insensitivity is sound: the site's own packed row already pins the
+    embed order, and the closure contributes only which services are
+    reachable and what each serves.  The hash values differ from
+    :class:`ContentHashIndex` by construction; the two indexes feed
+    disjoint key spaces (splice decisions vs. aggregate-cache keys).
+    """
+
+    def __init__(self, universe: Universe) -> None:
+        super().__init__(universe)
+        self._service_digests: Dict[str, bytes] = {}
+        # name -> (closure member frozenset, closure reaches ads)
+        self._closures: Dict[str, Tuple[frozenset, bool]] = {}
+        self._bidders_digest: Optional[bytes] = None
+
+    def _service_bytes(self, domain: str) -> bytes:
+        blob = self._fingerprints.get(domain)
+        if blob is None:
+            service = self.universe.services.get(domain)
+            if service is None:
+                blob = b"dead\x1f" + domain.encode()
+            else:
+                blob = _service_fingerprint(service) + b"\x1fattr\x1f" + repr(
+                    (service.organization, service.cert_org,
+                     service.in_disconnect)
+                ).encode()
+            self._fingerprints[domain] = blob
+        return blob
+
+    def _service_digest(self, name: str) -> bytes:
+        digest = self._service_digests.get(name)
+        if digest is None:
+            digest = hashlib.sha256(
+                name.encode() + b"\x1f" + self._service_bytes(name)
+            ).digest()
+            self._service_digests[name] = digest
+        return digest
+
+    def _closure(self, name: str) -> Tuple[frozenset, bool]:
+        """One service's transitive sync-partner closure (memoized)."""
+        cached = self._closures.get(name)
+        if cached is not None:
+            return cached
+        seen: set = set()
+        queue: List[str] = [name]
+        reaches_ads = False
+        cursor = 0
+        while cursor < len(queue):
+            current = queue[cursor]
+            cursor += 1
+            if current in seen:
+                continue
+            sub = self._closures.get(current)
+            if sub is not None:
+                # A fully-computed closure subsumes its whole subgraph.
+                seen.update(sub[0])
+                reaches_ads = reaches_ads or sub[1]
+                continue
+            seen.add(current)
+            service = self.universe.services.get(current)
+            if service is None:
+                continue
+            queue.extend(service.sync_partners)
+            if service.category == CATEGORY_ADS:
+                reaches_ads = True
+        result = (frozenset(seen), reaches_ads)
+        self._closures[name] = result
+        return result
+
+    def _bidders(self) -> bytes:
+        """One digest over the RTB bidder closure, computed once."""
+        if self._bidders_digest is None:
+            members: set = set()
+            for bidder in self.universe.rtb_bidders:
+                members.update(self._closure(bidder)[0])
+            digest = hashlib.sha256(b"bidders")
+            for name in sorted(members):
+                digest.update(self._service_digest(name))
+            self._bidders_digest = digest.digest()
+        return self._bidders_digest
+
+    def _compute(self, domain: str) -> Optional[str]:
+        universe = self.universe
+        spec = universe.porn_sites.get(domain)
+        roots: List[str]
+        if spec is not None:
+            kind = b"porn"
+            packed = repr(porn_spec_to_row(spec)).encode()
+            roots = list(spec.embedded_services)
+            roots.extend(partner for _, partner in spec.regional_services)
+            if spec.passes_id_to:
+                roots.append(spec.passes_id_to)
+        else:
+            spec = universe.regular_sites.get(domain)
+            if spec is None:
+                return None
+            kind = b"regular"
+            packed = repr(regular_spec_to_row(spec)).encode()
+            roots = list(spec.embedded_services)
+        digest = hashlib.sha256()
+        digest.update(kind)
+        digest.update(b"\x1f")
+        digest.update(packed)
+        digest.update(
+            repr(
+                (
+                    universe._cdn_of_site.get(domain),
+                    domain in universe.dynamic_cdn_sites,
+                    domain == universe.full_list_site,
+                )
+            ).encode()
+        )
+        members: set = set()
+        reaches_ads = False
+        for root in roots:
+            closure, ads = self._closure(root)
+            members.update(closure)
+            reaches_ads = reaches_ads or ads
+        for name in sorted(members):
+            digest.update(self._service_digest(name))
+        if reaches_ads:
+            digest.update(b"\x1fbidders\x1f")
+            digest.update(self._bidders())
+        return digest.hexdigest()
+
+
+def analysis_hash_index(universe: Universe) -> AnalysisHashIndex:
+    """The universe's :class:`AnalysisHashIndex`, built once per universe.
+
+    Cached on the universe object (mirroring the delta layer's
+    ``_content_hash_index``) so every run a study analyzes incrementally
+    shares one fingerprint/hash memo.
+    """
+    index = getattr(universe, "_analysis_hash_index", None)
+    if index is None:
+        index = AnalysisHashIndex(universe)
+        universe._analysis_hash_index = index
+    return index
 
 
 def _consolidate(
